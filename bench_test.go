@@ -1,0 +1,333 @@
+package envirotrack_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), plus micro-benchmarks of the substrates and
+// ablation benchmarks of the design choices called out in DESIGN.md.
+//
+// The experiment benchmarks report the headline numbers of each table or
+// figure as custom metrics, so a `go test -bench=.` run regenerates the
+// paper's results alongside the timing:
+//
+//	BenchmarkFigure3   ... mean_err_hops  max_err_hops
+//	BenchmarkFigure4   ... h0_50kmh_pct   h1_50kmh_pct ...
+//	BenchmarkTable1    ... hb_loss_50_pct msg_loss_50_pct util_50_pct
+//	BenchmarkFigure5   ... peak_speed_r1  collapsed_speed_r2 ...
+//	BenchmarkFigure6   ... speed_ratio3_r2 breakdown_ratio075 ...
+
+import (
+	"testing"
+	"time"
+
+	"envirotrack"
+	"envirotrack/internal/eval"
+)
+
+// benchTrackerSource is the Figure 2 program used by the preprocessor
+// benchmarks.
+const benchTrackerSource = `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(1s)
+        report_function() {
+            send(pursuer, self:label, location);
+        }
+    end
+end context
+`
+
+// benchTrackerContext is the Figure 2 context in API form.
+func benchTrackerContext(pursuer envirotrack.NodeID) envirotrack.ContextType {
+	return envirotrack.ContextType{
+		Name: "tracker",
+		Activation: func(rd envirotrack.Reading) bool {
+			v, _ := rd.Value("magnetic_detect")
+			return v > 0.5
+		},
+		Vars: []envirotrack.AggVar{{
+			Name:         "location",
+			Func:         envirotrack.Centroid,
+			Input:        envirotrack.PositionInput,
+			Freshness:    time.Second,
+			CriticalMass: 2,
+		}},
+		Objects: []envirotrack.Object{{
+			Name: "reporter",
+			Methods: []envirotrack.Method{{
+				Name:   "report_function",
+				Period: time.Second,
+				Body: func(ctx *envirotrack.Ctx, _ envirotrack.Trigger) {
+					if loc, ok := ctx.ReadPosition("location"); ok {
+						ctx.SendNode(pursuer, loc)
+					}
+				},
+			}},
+		}},
+		Group: envirotrack.GroupConfig{
+			HeartbeatPeriod: 250 * time.Millisecond,
+			HopsPast:        1,
+		},
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	var mean, max float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFigure3(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean, max = res.MeanError, res.MaxError
+	}
+	b.ReportMetric(mean, "mean_err_hops")
+	b.ReportMetric(max, "max_err_hops")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	var rows []eval.Figure4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.RunFigure4(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "h0"
+		if r.HopsPast == 1 {
+			name = "h1"
+		}
+		b.ReportMetric(r.SuccessPct, name+"_"+kmhName(r.SpeedKmh)+"_pct")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var rows []eval.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.RunTable1(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		suffix := kmhName(r.SpeedKmh)
+		b.ReportMetric(r.HBLossPct, "hb_loss_"+suffix+"_pct")
+		b.ReportMetric(r.MsgLossPct, "msg_loss_"+suffix+"_pct")
+		b.ReportMetric(r.LinkUtilPct, "util_"+suffix+"_pct")
+	}
+}
+
+func kmhName(kmh float64) string {
+	if kmh == 33 {
+		return "33kmh"
+	}
+	return "50kmh"
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	// Reduced sweep for benchmarking; `etsim -exp fig5` runs the full one.
+	cfg := eval.Figure5Config{
+		Heartbeats: []float64{0.0625, 0.5, 2},
+		Radii:      []float64{1, 2},
+		Seeds:      []int64{1},
+	}
+	var points []eval.Figure5Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = eval.RunFigure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Mode != "worst-case" {
+			continue
+		}
+		switch {
+		case p.HeartbeatSec == 0.5 && p.SensingRadius == 1:
+			b.ReportMetric(p.MaxSpeedHops, "speed_hb0.5_r1")
+		case p.HeartbeatSec == 2 && p.SensingRadius == 1:
+			b.ReportMetric(p.MaxSpeedHops, "speed_hb2_r1")
+		case p.HeartbeatSec == 0.0625 && p.SensingRadius == 2:
+			b.ReportMetric(p.MaxSpeedHops, "collapsed_hb0.06_r2")
+		case p.HeartbeatSec == 0.5 && p.SensingRadius == 2:
+			b.ReportMetric(p.MaxSpeedHops, "speed_hb0.5_r2")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := eval.Figure6Config{
+		Ratios: []float64{0.75, 1.5, 3},
+		Radii:  []float64{1, 2},
+		Seeds:  []int64{1},
+	}
+	var points []eval.Figure6Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = eval.RunFigure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		switch {
+		case p.Ratio == 0.75 && p.SensingRadius == 2:
+			b.ReportMetric(p.MaxSpeedHops, "breakdown_ratio0.75_r2")
+		case p.Ratio == 3 && p.SensingRadius == 2:
+			b.ReportMetric(p.MaxSpeedHops, "speed_ratio3_r2")
+		case p.Ratio == 3 && p.SensingRadius == 1:
+			b.ReportMetric(p.MaxSpeedHops, "speed_ratio3_r1")
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices from DESIGN.md) ---
+
+// BenchmarkAblationFloodSuppression measures heartbeat transmissions per
+// simulated second with and without counter-based broadcast-storm
+// suppression: the broadcast storm multiplies channel load.
+func BenchmarkAblationFloodSuppression(b *testing.B) {
+	run := func(off bool) float64 {
+		sc := eval.Scenario{Seed: 1, HopsPast: 1, FloodSuppressOff: off}
+		res, err := eval.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.LinkUtil * 100
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(with, "util_suppressed_pct")
+	b.ReportMetric(without, "util_storm_pct")
+}
+
+// BenchmarkAblationCSMA measures heartbeat loss with and without carrier
+// sensing at the MAC.
+func BenchmarkAblationCSMA(b *testing.B) {
+	run := func(noCSMA bool) float64 {
+		sc := eval.Scenario{Seed: 1, HopsPast: 1, DisableCSMA: noCSMA}
+		res, err := eval.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.HBLoss * 100
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(with, "hb_loss_csma_pct")
+	b.ReportMetric(without, "hb_loss_nocsma_pct")
+}
+
+// BenchmarkAblationRelinquish measures handover counts with and without
+// the explicit leadership-relinquish optimization at a fixed speed.
+func BenchmarkAblationRelinquish(b *testing.B) {
+	run := func(disable bool) float64 {
+		sc := eval.Scenario{Seed: 1, SpeedHops: 1, HopsPast: 1, DisableRelinquish: disable}
+		res, err := eval.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Handover.StrictSuccessRate() * 100
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(with, "handover_relinquish_pct")
+	b.ReportMetric(without, "handover_takeover_pct")
+}
+
+// --- micro-benchmarks of the substrates ---
+
+// BenchmarkSimulationThroughput measures simulated tracking: wall time per
+// simulated second of the Figure 3 scenario.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Run(eval.Scenario{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndTrackingSetup measures network construction for a
+// 20x20 field (radio registration, stacks, managers).
+func BenchmarkEndToEndTrackingSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := envirotrack.New(
+			envirotrack.WithGrid(20, 20),
+			envirotrack.WithCommRadius(2.5),
+			envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := benchTrackerContext(999)
+		if err := net.AttachContextAll(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileProgram measures the preprocessor (parse + semantic
+// analysis) on the Figure 2 program.
+func BenchmarkCompileProgram(b *testing.B) {
+	env := envirotrack.CompileEnv{Destinations: map[string]envirotrack.NodeID{"pursuer": 1}}
+	for i := 0; i < b.N; i++ {
+		if _, err := envirotrack.CompileContexts(benchTrackerSource, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateGo measures the code-emitting path of the preprocessor.
+func BenchmarkGenerateGo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := envirotrack.GenerateGo(benchTrackerSource, "gen"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionStreaming measures the goroutine-driven session API.
+func BenchmarkSessionStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := mustNet(b)
+		s := n.RunSession(10 * time.Second)
+		for range s.Events() {
+		}
+		if err := s.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustNet(b *testing.B) *envirotrack.Network {
+	b.Helper()
+	n, err := envirotrack.New(
+		envirotrack.WithGrid(8, 3),
+		envirotrack.WithCommRadius(2.5),
+		envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := benchTrackerContext(999)
+	if err := n.AttachContextAll(spec); err != nil {
+		b.Fatal(err)
+	}
+	n.AddTarget(&envirotrack.Target{
+		Name: "t", Kind: "vehicle",
+		Traj: envirotrack.Stationary{At: envirotrack.Pt(3.5, 1)}, SignatureRadius: 1.6,
+	})
+	return n
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.et")
+	src := `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(2s)
+        report_function() {
+            send(base, self:label, location);
+        }
+    end
+end context
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{path}, "8x2", 2.5, 1.6, 0.2, "vehicle", 15*time.Second, 1, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, "8x2", 2.5, 1.6, 0.2, "vehicle", time.Second, 1, time.Second); err == nil {
+		t.Error("expected usage error")
+	}
+	path := filepath.Join(t.TempDir(), "prog.et")
+	if err := os.WriteFile(path, []byte("begin context x activation: f() end context"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, "bogus", 2.5, 1.6, 0.2, "vehicle", time.Second, 1, time.Second); err == nil {
+		t.Error("expected grid parse error")
+	}
+	if err := run([]string{path}, "8x2", 2.5, 1.6, 0.2, "vehicle", time.Second, 1, time.Second); err == nil {
+		t.Error("expected compile error for unknown sensing function")
+	}
+}

@@ -1,0 +1,96 @@
+// Command etsim regenerates the paper's evaluation tables and figures on
+// the simulated sensor network.
+//
+// Usage:
+//
+//	etsim -exp fig3            # tracked tank trajectory (Figure 3)
+//	etsim -exp fig4 -trials 5  # handover success (Figure 4)
+//	etsim -exp table1 -runs 3  # communication performance (Table 1)
+//	etsim -exp fig5            # max trackable speed vs heartbeat (Figure 5)
+//	etsim -exp fig6            # max trackable speed vs CR:SR (Figure 6)
+//	etsim -exp all             # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"envirotrack/internal/eval"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
+		trials = flag.Int("trials", 3, "trials per Figure 4 cell")
+		runs   = flag.Int("runs", 3, "runs per Table 1 row")
+		seed   = flag.Int64("seed", 1, "seed for Figure 3")
+		quick  = flag.Bool("quick", false, "reduced sweeps for Figures 5 and 6")
+	)
+	flag.Parse()
+	if err := run(*exp, *trials, *runs, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "etsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, trials, runs int, seed int64, quick bool) error {
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "fig3" {
+		ran = true
+		res, err := eval.RunFigure3(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if all || exp == "fig4" {
+		ran = true
+		rows, err := eval.RunFigure4(trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFigure4(rows))
+	}
+	if all || exp == "table1" {
+		ran = true
+		rows, err := eval.RunTable1(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderTable1(rows))
+	}
+	if all || exp == "fig5" {
+		ran = true
+		cfg := eval.Figure5Config{IncludeRelinquish: true}
+		if quick {
+			cfg.Heartbeats = []float64{0.0625, 0.5, 2}
+			cfg.Seeds = []int64{1}
+		}
+		points, err := eval.RunFigure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFigure5(points))
+	}
+	if all || exp == "fig6" {
+		ran = true
+		cfg := eval.Figure6Config{}
+		if quick {
+			cfg.Ratios = []float64{0.75, 1.5, 3}
+			cfg.Radii = []float64{1, 2}
+			cfg.Seeds = []int64{1}
+		}
+		points, err := eval.RunFigure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.RenderFigure6(points))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, all)", exp)
+	}
+	return nil
+}

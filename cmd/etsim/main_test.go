@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFig3(t *testing.T) {
+	if err := run("fig3", 1, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", 1, 1, 1, true); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,204 @@
+// Package envirotrack is a Go implementation of EnviroTrack (Abdelzaher et
+// al., ICDCS 2004): an object-based distributed middleware for sensor
+// networks that raises the level of programming abstraction by attaching
+// computation to *tracked entities in the physical environment* rather
+// than to individual nodes.
+//
+// Applications declare context types — an activation condition (the
+// sensee() predicate), aggregate state variables with freshness and
+// critical-mass QoS, and attached tracking objects. The middleware then
+// discovers matching entities in the environment, forms a sensor group
+// around each, maintains a persistent context label as the entity moves,
+// collects the aggregate state, and runs object methods on the group
+// leader.
+//
+// The package bundles a complete discrete-event sensor-network simulator
+// (radio medium with collisions and loss, constrained mote CPUs, moving
+// targets) so that tracking applications run on a laptop exactly as they
+// would be structured on motes:
+//
+//	net, _ := envirotrack.New(
+//	    envirotrack.WithGrid(10, 10),
+//	    envirotrack.WithCommRadius(2.5),
+//	    envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
+//	)
+//	net.AddTarget(&envirotrack.Target{
+//	    Name: "tank", Kind: "vehicle",
+//	    Traj:            envirotrack.Line{Start: envirotrack.Pt(0, 5), Dir: envirotrack.Vec(1, 0), Speed: 0.1},
+//	    SignatureRadius: 1.5,
+//	})
+//	... attach a context type, run, and receive tracking reports.
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// system architecture.
+package envirotrack
+
+import (
+	"envirotrack/internal/aggregate"
+	"envirotrack/internal/core"
+	"envirotrack/internal/directory"
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/sensor"
+	"envirotrack/internal/trace"
+	"envirotrack/internal/transport"
+)
+
+// Geometry.
+type (
+	// Point is a location in the field, in grid units.
+	Point = geom.Point
+	// Vector is a displacement in the field.
+	Vector = geom.Vector
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Vec constructs a Vector.
+func Vec(dx, dy float64) Vector { return geom.Vec(dx, dy) }
+
+// Environment modeling.
+type (
+	// Target is a physical entity moving through the field.
+	Target = phenomena.Target
+	// Trajectory yields a target position over time.
+	Trajectory = phenomena.Trajectory
+	// Stationary is a trajectory that never moves.
+	Stationary = phenomena.Stationary
+	// Line moves at constant speed in a fixed direction.
+	Line = phenomena.Line
+	// Waypoints moves through an ordered point list.
+	Waypoints = phenomena.Waypoints
+)
+
+// NewWaypoints builds a waypoint trajectory at the given speed (grid units
+// per second).
+func NewWaypoints(pts []Point, speed float64) (*Waypoints, error) {
+	return phenomena.NewWaypoints(pts, speed)
+}
+
+// Sensing.
+type (
+	// Reading is one sample of a mote's local environment.
+	Reading = sensor.Reading
+	// SenseFunc is a boolean sensing condition (the paper's sensee()).
+	SenseFunc = sensor.Func
+	// SensorModel is a mote's sensing suite.
+	SensorModel = sensor.Model
+	// ChannelFunc computes one sensor channel from the environment.
+	ChannelFunc = sensor.ChannelFunc
+	// SenseRegistry resolves named sensing functions (for the declaration
+	// language).
+	SenseRegistry = sensor.Registry
+)
+
+// NewSensorModel returns an empty sensing suite.
+func NewSensorModel() *SensorModel { return sensor.NewModel() }
+
+// NewSenseRegistry returns the library of common sensing functions.
+func NewSenseRegistry() *SenseRegistry { return sensor.NewRegistry() }
+
+// VehicleSensing returns the magnetometer preset detecting the given
+// target kind.
+func VehicleSensing(kind string) *SensorModel { return sensor.VehicleModel(kind) }
+
+// FireSensing returns the temperature+light preset detecting the given
+// target kind over the ambient temperature.
+func FireSensing(kind string, ambient float64) *SensorModel { return sensor.FireModel(kind, ambient) }
+
+// DetectionChannel is a 0/1 channel that fires within a target's signature
+// radius.
+func DetectionChannel(kind string) ChannelFunc { return sensor.DetectionChannel(kind) }
+
+// IntensityChannel is an inverse-cube intensity channel.
+func IntensityChannel(kind string, scale float64) ChannelFunc {
+	return sensor.IntensityChannel(kind, scale)
+}
+
+// ConstantChannel is a fixed ambient value.
+func ConstantChannel(v float64) ChannelFunc { return sensor.ConstantChannel(v) }
+
+// Aggregation.
+type (
+	// AggFunc is a named aggregation function.
+	AggFunc = aggregate.Func
+	// Value is an aggregation result (scalar or position).
+	Value = aggregate.Value
+	// AggRegistry resolves named aggregation functions.
+	AggRegistry = aggregate.Registry
+)
+
+// Builtin aggregation functions.
+var (
+	Avg              = aggregate.Avg
+	Sum              = aggregate.Sum
+	Min              = aggregate.Min
+	Max              = aggregate.Max
+	Count            = aggregate.Count
+	Centroid         = aggregate.Centroid
+	WeightedCentroid = aggregate.WeightedCentroid
+)
+
+// NewAggRegistry returns the builtin aggregation-function registry.
+func NewAggRegistry() *AggRegistry { return aggregate.NewRegistry() }
+
+// Programming model.
+type (
+	// ContextType declares a tracked-entity type: activation condition,
+	// aggregate state variables, and attached objects.
+	ContextType = core.ContextType
+	// AggVar declares one aggregate state variable with its QoS.
+	AggVar = core.AggVarSpec
+	// Object declares a tracking object.
+	Object = core.ObjectSpec
+	// Method declares one object method and its invocation.
+	Method = core.MethodSpec
+	// Ctx is the enclosing-context API available to method bodies.
+	Ctx = core.Ctx
+	// Trigger tells a method body why it was invoked.
+	Trigger = core.Trigger
+	// Label is a context label: the persistent logical address of a
+	// tracked entity.
+	Label = group.Label
+	// GroupConfig tunes the group-management protocol per context type.
+	GroupConfig = group.Config
+	// NodeMessage is a payload delivered to a mote-addressed receiver.
+	NodeMessage = core.NodeMessage
+	// PortID identifies a method endpoint within a label.
+	PortID = transport.PortID
+	// Datagram is a transport-layer message between (label, port)
+	// endpoints.
+	Datagram = transport.Datagram
+	// DirectoryEntry is a directory record for an active label.
+	DirectoryEntry = directory.Entry
+	// NodeID identifies a mote.
+	NodeID = radio.NodeID
+)
+
+// PositionInput is the distinguished aggregation input meaning the
+// reporting mote's position.
+const PositionInput = core.PositionInput
+
+// Trigger kinds.
+const (
+	TriggerTimer     = core.TriggerTimer
+	TriggerCondition = core.TriggerCondition
+	TriggerMessage   = core.TriggerMessage
+)
+
+// Statistics.
+type (
+	// Stats is the radio/message accounting of a run.
+	Stats = trace.Stats
+	// Ledger is the context-label coherence monitor.
+	Ledger = trace.Ledger
+	// HandoverSummary summarizes label handovers for one context type.
+	HandoverSummary = trace.HandoverSummary
+	// Trajectory records actual-vs-reported target tracks.
+	TrackLog = trace.Trajectory
+)

@@ -1,0 +1,3 @@
+module envirotrack
+
+go 1.24

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"envirotrack/internal/aggregate"
+	"envirotrack/internal/directory"
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/routing"
+	"envirotrack/internal/sensor"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+	"envirotrack/internal/transport"
+)
+
+// StackConfig parameterizes the per-mote middleware stack.
+type StackConfig struct {
+	// Bounds is the sensor field extent (for directory hashing).
+	Bounds geom.Rect
+	// UseDirectory enables directory registration of led labels; the
+	// stress experiments disable it to match the paper's traffic mix.
+	UseDirectory bool
+	// DirectoryRefresh is the registration refresh period (default 5s).
+	DirectoryRefresh time.Duration
+	// DelayEstimate is d in Pe = Le - d, the estimated in-group message
+	// delay; when zero a conservative default derived from the medium's
+	// airtime is used by the network assembly layer.
+	DelayEstimate time.Duration
+}
+
+func (c StackConfig) withDefaults() StackConfig {
+	if c.DirectoryRefresh <= 0 {
+		c.DirectoryRefresh = 5 * time.Second
+	}
+	if c.DelayEstimate <= 0 {
+		c.DelayEstimate = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Stack is the EnviroTrack middleware instance on one mote. It wires the
+// transport endpoint (which must snoop frames before the group managers),
+// the directory service, and one context runtime per declared type.
+type Stack struct {
+	m      *mote.Mote
+	medium *radio.Medium
+	cfg    StackConfig
+	router *routing.Router
+	dir    *directory.Service
+	ep     *transport.Endpoint
+	ledger *trace.Ledger
+
+	runtimes []*ctxRuntime
+
+	nodeMsgHandlers []func(NodeMessage)
+}
+
+// NewStack builds the middleware on a mote. Context types are attached
+// afterwards with AttachContext; the mote's sensing scan drives everything.
+func NewStack(m *mote.Mote, medium *radio.Medium, cfg StackConfig, ledger *trace.Ledger) *Stack {
+	cfg = cfg.withDefaults()
+	router := routing.NewRouter(m, medium)
+	dir := directory.NewService(m, router, directory.Config{Bounds: cfg.Bounds})
+	ep := transport.NewEndpoint(m, router, dir, transport.Config{})
+	s := &Stack{
+		m:      m,
+		medium: medium,
+		cfg:    cfg,
+		router: router,
+		dir:    dir,
+		ep:     ep,
+		ledger: ledger,
+	}
+	router.AddHandler(s.handleNodeMessage)
+	m.AddSenseListener(s.onScan)
+	return s
+}
+
+// Mote returns the underlying mote.
+func (s *Stack) Mote() *mote.Mote { return s.m }
+
+// Endpoint returns the transport endpoint (for tests and advanced use).
+func (s *Stack) Endpoint() *transport.Endpoint { return s.ep }
+
+// Directory returns the directory service.
+func (s *Stack) Directory() *directory.Service { return s.dir }
+
+// Router returns the routing layer.
+func (s *Stack) Router() *routing.Router { return s.router }
+
+// OnNodeMessage registers a handler for messages sent directly to this
+// mote by object code (Ctx.SendNode) — the pursuer/base-station pattern.
+func (s *Stack) OnNodeMessage(fn func(NodeMessage)) {
+	s.nodeMsgHandlers = append(s.nodeMsgHandlers, fn)
+}
+
+func (s *Stack) handleNodeMessage(msg routing.Message) bool {
+	nm, ok := msg.Payload.(NodeMessage)
+	if !ok {
+		return false
+	}
+	for _, fn := range s.nodeMsgHandlers {
+		fn(nm)
+	}
+	return true
+}
+
+// AttachContext installs a context type on this mote. The group
+// data-collection period is derived as Pe = min(Le) - d unless the spec
+// overrides it.
+func (s *Stack) AttachContext(spec ContextType) (*ctxRuntime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, rt := range s.runtimes {
+		if rt.spec.Name == spec.Name {
+			return nil, fmt.Errorf("core: context type %q already attached", spec.Name)
+		}
+	}
+
+	gcfg := spec.Group
+	if gcfg.ReportPeriod <= 0 {
+		if le := spec.minFreshness(); le > 0 {
+			pe := le - s.cfg.DelayEstimate
+			if pe <= 0 {
+				pe = le / 2
+			}
+			gcfg.ReportPeriod = pe
+		}
+	}
+
+	rt := &ctxRuntime{stack: s, spec: spec}
+	rt.mgr = group.NewManager(s.m, spec.Name, gcfg, group.Callbacks{
+		ReportPayload:    rt.reportPayload,
+		OnReport:         rt.onMemberReport,
+		OnBecomeLeader:   rt.onBecomeLeader,
+		OnLoseLeadership: rt.onLoseLeadership,
+		OnLabelDeleted:   rt.onLabelDeleted,
+	}, s.ledger)
+	s.runtimes = append(s.runtimes, rt)
+	return rt, nil
+}
+
+// Runtime returns the runtime of an attached context type.
+func (s *Stack) Runtime(name string) (*ctxRuntime, bool) {
+	for _, rt := range s.runtimes {
+		if rt.spec.Name == name {
+			return rt, true
+		}
+	}
+	return nil, false
+}
+
+// onScan drives every context runtime from the mote's periodic sensing.
+func (s *Stack) onScan(rd sensor.Reading) {
+	for _, rt := range s.runtimes {
+		rt.onScan(rd)
+	}
+}
+
+// AttachStatic installs a static object (Section 3.2: "EnviroTrack also
+// supports conventional static objects that are not attached to context
+// labels"). The object lives permanently on this mote under the given
+// label, serves its message ports, runs its timer methods, and is
+// registered in the directory under its type so tracking objects can
+// address it.
+func (s *Stack) AttachStatic(label group.Label, objects []ObjectSpec) (*Ctx, error) {
+	for _, o := range objects {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &Ctx{stack: s, label: label, static: true}
+	s.ep.SetLeading(label, true)
+	for _, obj := range objects {
+		for _, m := range obj.Methods {
+			method := m
+			if method.Port != 0 {
+				s.ep.Handle(label, method.Port, func(d transport.Datagram) {
+					method.Body(ctx, Trigger{Kind: TriggerMessage, Msg: &d})
+				})
+			}
+			if method.Period > 0 {
+				simtime.NewTicker(s.m.Scheduler(), method.Period, func() {
+					if s.m.Failed() {
+						return
+					}
+					if method.Condition != nil && !method.Condition(ctx) {
+						return
+					}
+					method.Body(ctx, Trigger{Kind: TriggerTimer})
+				})
+			}
+		}
+	}
+	if s.cfg.UseDirectory {
+		register := func() {
+			s.dir.Register(transportLabelType(label), label, s.m.Pos(), s.m.ID())
+		}
+		register()
+		simtime.NewTicker(s.m.Scheduler(), s.cfg.DirectoryRefresh, func() {
+			if !s.m.Failed() {
+				register()
+			}
+		})
+	}
+	return ctx, nil
+}
+
+// transportLabelType mirrors transport's label-type derivation for static
+// labels of the canonical "type/..." form.
+func transportLabelType(l group.Label) string {
+	s := string(l)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// ctxRuntime is the per-mote runtime state of one context type.
+type ctxRuntime struct {
+	stack *Stack
+	spec  ContextType
+	mgr   *group.Manager
+
+	// Latest local samples per variable, refreshed on every scan while
+	// sensing (sent to the leader in reports / used directly when leading).
+	samples map[string]aggregate.Sample
+
+	// Leader-only state.
+	ctx       *Ctx
+	windows   map[string]*aggregate.Window
+	tickers   []*simtime.Ticker
+	dirTicker *simtime.Ticker
+	ports     []transport.PortID
+}
+
+// Manager exposes the group manager (for tests and experiments).
+func (rt *ctxRuntime) Manager() *group.Manager { return rt.mgr }
+
+// Leading reports whether this mote currently leads a label of the type.
+func (rt *ctxRuntime) Leading() bool { return rt.ctx != nil }
+
+// Ctx returns the object context while leading (nil otherwise).
+func (rt *ctxRuntime) Ctx() *Ctx { return rt.ctx }
+
+func (rt *ctxRuntime) onScan(rd sensor.Reading) {
+	sensing := rt.spec.Activation(rd)
+	if rt.mgr.Sensing() && rt.spec.Deactivation != nil {
+		sensing = !rt.spec.Deactivation(rd)
+	}
+	rt.mgr.SetSensing(sensing)
+
+	if sensing {
+		rt.refreshSamples(rd)
+	}
+
+	if rt.ctx == nil {
+		return
+	}
+	// Leader: contribute its own readings to the aggregate state and
+	// check condition-driven methods (the outer timer loop of Section 5.1).
+	if sensing {
+		for name, smp := range rt.samples {
+			if w, ok := rt.windows[name]; ok {
+				w.Add(smp)
+			}
+		}
+	}
+	for _, obj := range rt.spec.Objects {
+		for _, m := range obj.Methods {
+			if m.Period == 0 && m.Port == 0 && m.Condition != nil && m.Condition(rt.ctx) {
+				m.Body(rt.ctx, Trigger{Kind: TriggerCondition})
+			}
+		}
+	}
+}
+
+func (rt *ctxRuntime) refreshSamples(rd sensor.Reading) {
+	if rt.samples == nil {
+		rt.samples = make(map[string]aggregate.Sample, len(rt.spec.Vars))
+	}
+	for _, v := range rt.spec.Vars {
+		smp := aggregate.Sample{
+			MoteID: rd.MoteID,
+			At:     rd.At,
+			Pos:    rd.Position,
+		}
+		if v.Input != PositionInput {
+			val, ok := rd.Value(v.Input)
+			if !ok {
+				continue
+			}
+			smp.Scalar = val
+		}
+		rt.samples[v.Name] = smp
+	}
+}
+
+// reportPayload is the member's periodic report content.
+func (rt *ctxRuntime) reportPayload() any {
+	if len(rt.samples) == 0 {
+		return readingsPayload{}
+	}
+	out := make(map[string]aggregate.Sample, len(rt.samples))
+	for k, v := range rt.samples {
+		out[k] = v
+	}
+	return readingsPayload{Samples: out}
+}
+
+// onMemberReport folds a member's samples into the leader's windows.
+func (rt *ctxRuntime) onMemberReport(_ radio.NodeID, payload any) {
+	rp, ok := payload.(readingsPayload)
+	if !ok || rt.windows == nil {
+		return
+	}
+	for name, smp := range rp.Samples {
+		if w, ok := rt.windows[name]; ok {
+			w.Add(smp)
+		}
+	}
+}
+
+func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
+	rt.windows = make(map[string]*aggregate.Window, len(rt.spec.Vars))
+	for _, v := range rt.spec.Vars {
+		w, err := aggregate.NewWindow(v.Func, v.Freshness, v.CriticalMass)
+		if err != nil {
+			continue // validated at attach; defensive
+		}
+		rt.windows[v.Name] = w
+	}
+	rt.ctx = &Ctx{stack: rt.stack, rt: rt, label: label}
+	rt.stack.ep.SetLeading(label, true)
+	if state != nil {
+		rt.mgr.SetState(state)
+	}
+
+	// Install message-triggered methods and timer methods.
+	for _, obj := range rt.spec.Objects {
+		for _, m := range obj.Methods {
+			method := m
+			if method.Port != 0 {
+				rt.ports = append(rt.ports, method.Port)
+				rt.stack.ep.Handle(label, method.Port, func(d transport.Datagram) {
+					if rt.ctx == nil {
+						return
+					}
+					method.Body(rt.ctx, Trigger{Kind: TriggerMessage, Msg: &d})
+				})
+			}
+			if method.Period > 0 {
+				tk := simtime.NewTicker(rt.stack.m.Scheduler(), method.Period, func() {
+					if rt.ctx == nil || rt.stack.m.Failed() {
+						return
+					}
+					if method.Condition != nil && !method.Condition(rt.ctx) {
+						return
+					}
+					method.Body(rt.ctx, Trigger{Kind: TriggerTimer})
+				})
+				rt.tickers = append(rt.tickers, tk)
+			}
+		}
+	}
+
+	// Register the label with the directory and refresh periodically.
+	if rt.stack.cfg.UseDirectory {
+		register := func() {
+			rt.stack.dir.Register(rt.spec.Name, label, rt.stack.m.Pos(), rt.stack.m.ID())
+		}
+		register()
+		rt.dirTicker = simtime.NewTicker(rt.stack.m.Scheduler(), rt.stack.cfg.DirectoryRefresh, func() {
+			if !rt.stack.m.Failed() && rt.ctx != nil {
+				register()
+			}
+		})
+	}
+}
+
+func (rt *ctxRuntime) onLoseLeadership(label group.Label) {
+	for _, tk := range rt.tickers {
+		tk.Stop()
+	}
+	rt.tickers = nil
+	if rt.dirTicker != nil {
+		rt.dirTicker.Stop()
+		rt.dirTicker = nil
+	}
+	for _, p := range rt.ports {
+		rt.stack.ep.Unhandle(label, p)
+	}
+	rt.ports = nil
+	rt.stack.ep.SetLeading(label, false)
+	rt.ctx = nil
+	rt.windows = nil
+}
+
+// onLabelDeleted withdraws the directory registration of a label this
+// mote deleted as spurious.
+func (rt *ctxRuntime) onLabelDeleted(label group.Label) {
+	if rt.stack.cfg.UseDirectory {
+		rt.stack.dir.Unregister(rt.spec.Name, label)
+	}
+}

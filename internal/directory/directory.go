@@ -1,0 +1,338 @@
+// Package directory implements EnviroTrack's object naming and directory
+// services (Section 5.3). A context type name is hashed to an (x, y)
+// coordinate in the sensor field; the nodes nearest that coordinate hold
+// the directory object, a mapping from context label to the label's current
+// location and leader. Labels register when first created, refresh with
+// occasional updates, and queries such as "where are all the fires?" are
+// answered from the directory's fresh entries.
+package directory
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/routing"
+	"envirotrack/internal/trace"
+)
+
+// DefaultEntryTTL is how long a registration stays valid without a refresh.
+const DefaultEntryTTL = 30 * time.Second
+
+// Query reliability: there are no MAC acknowledgements, so queries are
+// retransmitted on a timeout until a reply arrives or the attempts are
+// exhausted (the callback then receives nil).
+const (
+	DefaultQueryTimeout = 2 * time.Second
+	DefaultQueryRetries = 3
+)
+
+// Entry is one directory record: the location of an active context label.
+type Entry struct {
+	CtxType   string
+	Label     group.Label
+	Location  geom.Point
+	Leader    radio.NodeID
+	UpdatedAt time.Duration
+}
+
+// HashPoint deterministically maps a context type name to a coordinate
+// inside the field bounds (FNV-1a, like the content-hashing schemes the
+// paper cites).
+func HashPoint(name string, bounds geom.Rect) geom.Point {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	v := h.Sum64()
+	// Split into two 32-bit halves for x and y.
+	fx := float64(uint32(v)) / float64(1<<32)
+	fy := float64(uint32(v>>32)) / float64(1<<32)
+	return geom.Pt(
+		bounds.Min.X+fx*bounds.Width(),
+		bounds.Min.Y+fy*bounds.Height(),
+	)
+}
+
+// Routed message payloads.
+type registerMsg struct {
+	Entry Entry
+}
+
+type unregisterMsg struct {
+	CtxType string
+	Label   group.Label
+	// At orders the unregistration against registrations: registrations
+	// not newer than At stay dead (tombstone semantics).
+	At time.Duration
+}
+
+type queryMsg struct {
+	CtxType   string
+	QueryID   uint64
+	ReplyTo   geom.Point
+	ReplyNode radio.NodeID
+}
+
+type replyMsg struct {
+	QueryID uint64
+	Entries []Entry
+}
+
+// Config parameterizes the directory service.
+type Config struct {
+	// Bounds is the sensor field extent used for type-name hashing.
+	Bounds geom.Rect
+	// EntryTTL is the registration lifetime (DefaultEntryTTL if zero).
+	EntryTTL time.Duration
+	// QueryTimeout is the per-attempt reply deadline (DefaultQueryTimeout
+	// if zero) and QueryRetries the number of retransmissions
+	// (DefaultQueryRetries if zero).
+	QueryTimeout time.Duration
+	QueryRetries int
+	// MessageBits sizes directory frames on the air.
+	MessageBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EntryTTL <= 0 {
+		c.EntryTTL = DefaultEntryTTL
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = DefaultQueryTimeout
+	}
+	if c.QueryRetries <= 0 {
+		c.QueryRetries = DefaultQueryRetries
+	}
+	if c.MessageBits <= 0 {
+		c.MessageBits = 48 * 8
+	}
+	return c
+}
+
+// Service is the per-mote directory component. Any mote may issue Register
+// and Query; motes that happen to sit nearest a type's hash coordinate
+// store that type's entries.
+type Service struct {
+	m      *mote.Mote
+	router *routing.Router
+	cfg    Config
+
+	// entries is this node's replica of directory state (non-empty only on
+	// directory nodes): ctxType -> label -> entry.
+	entries map[string]map[group.Label]Entry
+	// tombstones record unregistered labels so that in-flight or stale
+	// registrations cannot resurrect them: ctxType -> label -> time.
+	tombstones map[string]map[group.Label]time.Duration
+	// pending holds in-flight queries issued from this node.
+	pending     map[uint64]*pendingQuery
+	nextQueryID uint64
+}
+
+// pendingQuery tracks one outstanding query and its retransmissions.
+type pendingQuery struct {
+	cb       func([]Entry)
+	attempts int
+	timer    interface{ Stop() bool }
+}
+
+// NewService attaches a directory service to the mote's router.
+func NewService(m *mote.Mote, router *routing.Router, cfg Config) *Service {
+	s := &Service{
+		m:          m,
+		router:     router,
+		cfg:        cfg.withDefaults(),
+		entries:    make(map[string]map[group.Label]Entry),
+		tombstones: make(map[string]map[group.Label]time.Duration),
+		pending:    make(map[uint64]*pendingQuery),
+	}
+	router.AddHandler(s.handle)
+	return s
+}
+
+// Register announces (or refreshes) a context label's location to the
+// directory object for its type. Called by the label's leader when the
+// label comes alive and periodically afterwards.
+func (s *Service) Register(ctxType string, label group.Label, location geom.Point, leader radio.NodeID) {
+	e := Entry{
+		CtxType:   ctxType,
+		Label:     label,
+		Location:  location,
+		Leader:    leader,
+		UpdatedAt: s.m.Scheduler().Now(),
+	}
+	s.router.Send(routing.Message{
+		Kind:     trace.KindDirectory,
+		Dest:     HashPoint(ctxType, s.cfg.Bounds),
+		DestNode: routing.AnyNode,
+		Bits:     s.cfg.MessageBits,
+		Payload:  registerMsg{Entry: e},
+	})
+}
+
+// unregisterRepeats is how many copies of an unregistration are sent.
+// There are no MAC-layer acknowledgements, and unregistrations typically
+// happen amid the collision-heavy churn of label formation, so sender-side
+// redundancy keeps ghost entries out of the directory.
+const unregisterRepeats = 3
+
+// Unregister removes a label from its type's directory object (sent by a
+// leader that deleted a spurious label, Section 5.2). The message is
+// repeated a few times with spacing to survive collisions.
+func (s *Service) Unregister(ctxType string, label group.Label) {
+	msg := unregisterMsg{CtxType: ctxType, Label: label, At: s.m.Scheduler().Now()}
+	send := func() {
+		if s.m.Failed() {
+			return
+		}
+		s.router.Send(routing.Message{
+			Kind:     trace.KindDirectory,
+			Dest:     HashPoint(ctxType, s.cfg.Bounds),
+			DestNode: routing.AnyNode,
+			Bits:     s.cfg.MessageBits,
+			Payload:  msg,
+		})
+	}
+	send()
+	for i := 1; i < unregisterRepeats; i++ {
+		delay := time.Duration(float64(i)*150+s.m.Rand().Float64()*100) * time.Millisecond
+		s.m.Scheduler().After(delay, send)
+	}
+}
+
+// Query asks the directory object for all fresh labels of a context type;
+// the callback is invoked with the reply (possibly empty, nil when every
+// attempt timed out). The reply arrives asynchronously; the callback runs
+// on the scheduler thread. Lost queries or replies are retransmitted.
+func (s *Service) Query(ctxType string, cb func([]Entry)) {
+	s.nextQueryID++
+	id := s.nextQueryID
+	s.pending[id] = &pendingQuery{cb: cb}
+	s.sendQuery(ctxType, id)
+}
+
+func (s *Service) sendQuery(ctxType string, id uint64) {
+	pq, ok := s.pending[id]
+	if !ok {
+		return
+	}
+	pq.attempts++
+	s.router.Send(routing.Message{
+		Kind:     trace.KindDirectory,
+		Dest:     HashPoint(ctxType, s.cfg.Bounds),
+		DestNode: routing.AnyNode,
+		Bits:     s.cfg.MessageBits,
+		Payload: queryMsg{
+			CtxType:   ctxType,
+			QueryID:   id,
+			ReplyTo:   s.m.Pos(),
+			ReplyNode: s.m.ID(),
+		},
+	})
+	pq.timer = s.m.Scheduler().After(s.cfg.QueryTimeout, func() {
+		cur, ok := s.pending[id]
+		if !ok || cur != pq {
+			return
+		}
+		if pq.attempts >= s.cfg.QueryRetries || s.m.Failed() {
+			delete(s.pending, id)
+			pq.cb(nil)
+			return
+		}
+		s.sendQuery(ctxType, id)
+	})
+}
+
+// Entries returns this node's fresh replica entries for a type, sorted by
+// label (useful for inspection and tests).
+func (s *Service) Entries(ctxType string) []Entry {
+	return s.freshEntries(ctxType)
+}
+
+func (s *Service) handle(msg routing.Message) bool {
+	switch p := msg.Payload.(type) {
+	case registerMsg:
+		s.store(p.Entry)
+		return true
+	case unregisterMsg:
+		s.remove(p)
+		return true
+	case queryMsg:
+		s.answer(p)
+		return true
+	case replyMsg:
+		if pq, ok := s.pending[p.QueryID]; ok {
+			delete(s.pending, p.QueryID)
+			if pq.timer != nil {
+				pq.timer.Stop()
+			}
+			pq.cb(p.Entries)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Service) store(e Entry) {
+	if ts, ok := s.tombstones[e.CtxType][e.Label]; ok && e.UpdatedAt <= ts {
+		return // the label was unregistered after this registration was made
+	}
+	byLabel, ok := s.entries[e.CtxType]
+	if !ok {
+		byLabel = make(map[group.Label]Entry)
+		s.entries[e.CtxType] = byLabel
+	}
+	if prev, ok := byLabel[e.Label]; ok && prev.UpdatedAt > e.UpdatedAt {
+		return // out-of-order refresh
+	}
+	byLabel[e.Label] = e
+}
+
+func (s *Service) remove(p unregisterMsg) {
+	if byLabel, ok := s.entries[p.CtxType]; ok {
+		if e, ok := byLabel[p.Label]; !ok || e.UpdatedAt <= p.At {
+			delete(byLabel, p.Label)
+		}
+	}
+	byLabel, ok := s.tombstones[p.CtxType]
+	if !ok {
+		byLabel = make(map[group.Label]time.Duration)
+		s.tombstones[p.CtxType] = byLabel
+	}
+	if ts, ok := byLabel[p.Label]; !ok || ts < p.At {
+		byLabel[p.Label] = p.At
+	}
+}
+
+func (s *Service) answer(q queryMsg) {
+	entries := s.freshEntries(q.CtxType)
+	s.router.Send(routing.Message{
+		Kind:     trace.KindDirectory,
+		Dest:     q.ReplyTo,
+		DestNode: q.ReplyNode,
+		Bits:     s.cfg.MessageBits + 32*len(entries),
+		Payload:  replyMsg{QueryID: q.QueryID, Entries: entries},
+	})
+}
+
+// freshEntries returns unexpired entries for the type, pruning stale ones.
+func (s *Service) freshEntries(ctxType string) []Entry {
+	byLabel := s.entries[ctxType]
+	if len(byLabel) == 0 {
+		return nil
+	}
+	cutoff := s.m.Scheduler().Now() - s.cfg.EntryTTL
+	var out []Entry
+	for label, e := range byLabel {
+		if e.UpdatedAt < cutoff {
+			delete(byLabel, label)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}

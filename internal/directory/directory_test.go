@@ -1,0 +1,244 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/routing"
+	"envirotrack/internal/simtime"
+)
+
+type net struct {
+	sched    *simtime.Scheduler
+	medium   *radio.Medium
+	services map[radio.NodeID]*Service
+	bounds   geom.Rect
+}
+
+func newNet(t *testing.T, cols, rows int, commRadius float64) *net {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	rng := rand.New(rand.NewSource(5))
+	// Collisions are disabled: these tests exercise directory semantics,
+	// not channel contention (covered in radio's own tests).
+	medium := radio.New(sched, radio.Params{CommRadius: commRadius, DisableCollisions: true}, rng, nil)
+	bounds := geom.Grid{Cols: cols, Rows: rows}.Bounds()
+	n := &net{
+		sched:    sched,
+		medium:   medium,
+		services: make(map[radio.NodeID]*Service),
+		bounds:   bounds,
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			id := radio.NodeID(y*cols + x)
+			m, err := mote.New(id, geom.Pt(float64(x), float64(y)), sched, medium, phenomena.NewField(), nil, mote.Config{}, rng, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := routing.NewRouter(m, medium)
+			n.services[id] = NewService(m, r, Config{Bounds: bounds})
+		}
+	}
+	return n
+}
+
+func TestHashPointInBounds(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 5)}
+	f := func(name string) bool {
+		return bounds.Contains(HashPoint(name, bounds))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPointDeterministic(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}
+	a := HashPoint("fire", bounds)
+	b := HashPoint("fire", bounds)
+	if a != b {
+		t.Errorf("HashPoint not deterministic: %v vs %v", a, b)
+	}
+	c := HashPoint("tracker", bounds)
+	if a == c {
+		t.Error("different names hashed to the same point (extremely unlikely)")
+	}
+}
+
+func TestRegisterThenQuery(t *testing.T) {
+	n := newNet(t, 6, 6, 1.5)
+	n.services[0].Register("fire", "fire/1.1", geom.Pt(2, 3), 7)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Entry
+	n.services[35].Query("fire", func(es []Entry) { got = es })
+	if err := n.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("query returned %d entries, want 1", len(got))
+	}
+	e := got[0]
+	if e.Label != "fire/1.1" || e.Location != geom.Pt(2, 3) || e.Leader != 7 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestQueryEmptyType(t *testing.T) {
+	n := newNet(t, 4, 4, 1.5)
+	called := false
+	n.services[0].Query("nothing", func(es []Entry) {
+		called = true
+		if len(es) != 0 {
+			t.Errorf("entries = %v, want empty", es)
+		}
+	})
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("query callback never invoked")
+	}
+}
+
+func TestMultipleLabelsOfSameType(t *testing.T) {
+	n := newNet(t, 6, 6, 1.5)
+	n.services[0].Register("car", "car/1.1", geom.Pt(1, 1), 1)
+	n.services[10].Register("car", "car/9.1", geom.Pt(4, 1), 9)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	n.services[20].Query("car", func(es []Entry) { got = es })
+	if err := n.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got))
+	}
+	if got[0].Label >= got[1].Label {
+		t.Error("entries not sorted by label")
+	}
+}
+
+func TestUpdateRefreshesLocation(t *testing.T) {
+	n := newNet(t, 6, 6, 1.5)
+	n.services[0].Register("car", "car/1.1", geom.Pt(1, 1), 1)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The tracked entity moved; a later update must win.
+	n.services[7].Register("car", "car/1.1", geom.Pt(5, 5), 8)
+	if err := n.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	n.services[30].Query("car", func(es []Entry) { got = es })
+	if err := n.sched.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("entries = %d, want 1 (update, not new entry)", len(got))
+	}
+	if got[0].Location != geom.Pt(5, 5) || got[0].Leader != 8 {
+		t.Errorf("entry not refreshed: %+v", got[0])
+	}
+}
+
+func TestEntriesExpireAfterTTL(t *testing.T) {
+	n := newNet(t, 6, 6, 1.5)
+	n.services[0].Register("car", "car/1.1", geom.Pt(1, 1), 1)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Query long after the 30 s TTL.
+	var got []Entry
+	called := false
+	n.sched.At(40*time.Second, func() {
+		n.services[30].Query("car", func(es []Entry) { got, called = es, true })
+	})
+	if err := n.sched.RunUntil(50 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("query callback not invoked")
+	}
+	if len(got) != 0 {
+		t.Errorf("expired entries returned: %v", got)
+	}
+}
+
+func TestDirectoryStoredNearHashPoint(t *testing.T) {
+	n := newNet(t, 8, 8, 1.5)
+	n.services[0].Register("fire", "fire/1.1", geom.Pt(0, 0), 1)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hp := HashPoint("fire", n.bounds)
+	// Find the node nearest the hash point: it must hold the entry.
+	best := radio.NodeID(-1)
+	bestD := 1e18
+	for _, id := range n.medium.NodeIDs() {
+		pos, _ := n.medium.Position(id)
+		if d := pos.Dist2(hp); d < bestD {
+			bestD, best = d, id
+		}
+	}
+	if got := n.services[best].Entries("fire"); len(got) != 1 {
+		t.Errorf("nearest node to hash point holds %d entries, want 1", len(got))
+	}
+	// A node far from the hash point holds nothing.
+	farthest := radio.NodeID(-1)
+	farD := -1.0
+	for _, id := range n.medium.NodeIDs() {
+		pos, _ := n.medium.Position(id)
+		if d := pos.Dist2(hp); d > farD {
+			farD, farthest = d, id
+		}
+	}
+	if got := n.services[farthest].Entries("fire"); len(got) != 0 {
+		t.Errorf("far node holds %d entries, want 0", len(got))
+	}
+}
+
+func TestQueriesFromDifferentTypesAreIsolated(t *testing.T) {
+	n := newNet(t, 6, 6, 1.5)
+	n.services[0].Register("car", "car/1.1", geom.Pt(1, 1), 1)
+	n.services[0].Register("fire", "fire/2.1", geom.Pt(3, 3), 2)
+	if err := n.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var cars, fires []Entry
+	n.services[12].Query("car", func(es []Entry) { cars = es })
+	n.services[12].Query("fire", func(es []Entry) { fires = es })
+	if err := n.sched.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(cars) != 1 || cars[0].CtxType != "car" {
+		t.Errorf("car query = %v", cars)
+	}
+	if len(fires) != 1 || fires[0].CtxType != "fire" {
+		t.Errorf("fire query = %v", fires)
+	}
+}
+
+func TestOutOfOrderRefreshIgnored(t *testing.T) {
+	n := newNet(t, 4, 4, 1.5)
+	svc := n.services[0]
+	svc.store(Entry{CtxType: "x", Label: group.Label("x/1"), UpdatedAt: 10 * time.Second, Location: geom.Pt(2, 2)})
+	svc.store(Entry{CtxType: "x", Label: group.Label("x/1"), UpdatedAt: 5 * time.Second, Location: geom.Pt(9, 9)})
+	es := svc.entries["x"]
+	if es[group.Label("x/1")].Location != geom.Pt(2, 2) {
+		t.Error("older update overwrote newer entry")
+	}
+}

@@ -1,0 +1,636 @@
+// Package group implements EnviroTrack's group management protocol
+// (Section 5.2): the lightweight, consistency-free maintenance of context
+// labels over a dynamic sensor group. Leaders send periodic heartbeats that
+// flood the group and propagate h hops past its perimeter; members arm
+// receive timers that trigger leadership takeover; non-members arm wait
+// timers that make them join existing labels instead of spawning new ones;
+// leader weights (member messages received to date) suppress spurious
+// labels; and an explicit relinquish mechanism hands leadership over when
+// the leader stops sensing the tracked event.
+package group
+
+import (
+	"fmt"
+	"time"
+
+	"envirotrack/internal/mote"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+// Manager runs the group-management protocol for one context type on one
+// mote. It is driven by the simulation scheduler via the mote's frame
+// handlers and its own timers.
+type Manager struct {
+	m       *mote.Mote
+	ctxType string
+	cfg     Config
+	cb      Callbacks
+	ledger  *trace.Ledger
+
+	sensing bool
+	role    Role
+	label   Label
+
+	// Leader state.
+	weight    uint64
+	state     []byte
+	hbSeq     uint64
+	hbTimer   *simtime.Timer
+	reporters map[radio.NodeID]time.Duration // member -> last report time
+
+	// Member state.
+	leaderID     radio.NodeID
+	lastWeight   uint64
+	lastState    []byte
+	receiveTimer *simtime.Timer
+	reportTicker *simtime.Ticker
+	reportDelay  *simtime.Timer
+
+	// Non-member state: memory of a nearby label.
+	waitTimer  *simtime.Timer
+	waitLabel  Label
+	waitLeader radio.NodeID
+	waitWeight uint64
+	waitState  []byte
+
+	// Label-creation backoff.
+	creationTimer *simtime.Timer
+	labelSeq      int
+
+	// seenHB deduplicates heartbeat floods: highest Seq per (label, leader).
+	seenHB map[string]uint64
+	// pendingFwds tracks scheduled rebroadcasts for broadcast-storm
+	// suppression, keyed like seenHB.
+	pendingFwds map[string]*pendingForward
+}
+
+// pendingForward is a jittered heartbeat rebroadcast awaiting its timer;
+// duplicate receptions during the wait increment dups and may suppress it.
+type pendingForward struct {
+	seq   uint64
+	dups  int
+	timer *simtime.Timer
+}
+
+// NewManager attaches a group manager for ctxType to the mote. The ledger
+// may be nil to disable coherence tracing.
+func NewManager(m *mote.Mote, ctxType string, cfg Config, cb Callbacks, ledger *trace.Ledger) *Manager {
+	g := &Manager{
+		m:           m,
+		ctxType:     ctxType,
+		cfg:         cfg.withDefaults(),
+		cb:          cb,
+		ledger:      ledger,
+		role:        RoleNone,
+		reporters:   make(map[radio.NodeID]time.Duration),
+		seenHB:      make(map[string]uint64),
+		pendingFwds: make(map[string]*pendingForward),
+	}
+	m.AddFrameHandler(g.handleFrame)
+	return g
+}
+
+// Role returns the mote's current role for this context type.
+func (g *Manager) Role() Role { return g.role }
+
+// Label returns the context label the mote currently participates in
+// (empty when RoleNone).
+func (g *Manager) Label() Label { return g.label }
+
+// LeaderID returns the last known leader of the mote's label.
+func (g *Manager) LeaderID() radio.NodeID {
+	if g.role == RoleLeader {
+		return g.m.ID()
+	}
+	return g.leaderID
+}
+
+// Weight returns the leader weight (meaningful when leading).
+func (g *Manager) Weight() uint64 { return g.weight }
+
+// Sensing returns the last sensing state supplied via SetSensing.
+func (g *Manager) Sensing() bool { return g.sensing }
+
+// CtxType returns the context type this manager maintains.
+func (g *Manager) CtxType() string { return g.ctxType }
+
+// SetState updates the label's persistent state; it is piggybacked on
+// subsequent heartbeats so that a successor leader resumes from it. Only a
+// leader may set state; other calls are ignored.
+func (g *Manager) SetState(state []byte) {
+	if g.role != RoleLeader {
+		return
+	}
+	g.state = append([]byte(nil), state...)
+}
+
+// State returns the current persistent state known for the label.
+func (g *Manager) State() []byte {
+	switch g.role {
+	case RoleLeader:
+		return g.state
+	case RoleMember:
+		return g.lastState
+	default:
+		return nil
+	}
+}
+
+// Stop tears down all timers (end of simulation cleanup).
+func (g *Manager) Stop() {
+	g.stopLeaderDuties()
+	g.stopMemberDuties()
+	g.stopTimer(&g.waitTimer)
+	g.stopTimer(&g.creationTimer)
+}
+
+// SetSensing informs the manager of the mote's current sensee() evaluation.
+// The middleware calls it on every sensing scan; no-change calls are cheap.
+func (g *Manager) SetSensing(sensing bool) {
+	if g.m.Failed() || sensing == g.sensing {
+		return
+	}
+	g.sensing = sensing
+	if sensing {
+		g.onStartSensing()
+	} else {
+		g.onStopSensing()
+	}
+}
+
+func (g *Manager) onStartSensing() {
+	if g.role != RoleNone {
+		return
+	}
+	// A nearby label is remembered: join it rather than spawning a new one.
+	if g.waitTimer.Pending() {
+		g.joinWaitedLabel()
+		return
+	}
+	// Otherwise back off briefly in case a heartbeat is in flight, then
+	// create a fresh label.
+	if g.creationTimer.Pending() {
+		return
+	}
+	backoff := time.Duration(g.m.Rand().Float64() * float64(g.cfg.CreationBackoff))
+	g.creationTimer = g.m.Scheduler().After(backoff, func() {
+		if g.m.Failed() || !g.sensing || g.role != RoleNone {
+			return
+		}
+		if g.waitTimer.Pending() {
+			g.joinWaitedLabel()
+			return
+		}
+		g.createLabel()
+	})
+}
+
+func (g *Manager) onStopSensing() {
+	switch g.role {
+	case RoleLeader:
+		g.leaderStepDown()
+	case RoleMember:
+		g.leaveMembership()
+	default:
+		g.stopTimer(&g.creationTimer)
+	}
+}
+
+// --- label creation and leadership ---
+
+func (g *Manager) createLabel() {
+	g.labelSeq++
+	label := Label(fmt.Sprintf("%s/%d.%d", g.ctxType, g.m.ID(), g.labelSeq))
+	g.recordEvent(trace.LabelCreated, label)
+	g.becomeLeader(label, 0, nil)
+}
+
+func (g *Manager) becomeLeader(label Label, weight uint64, state []byte) {
+	g.stopMemberDuties()
+	g.stopTimer(&g.waitTimer)
+	g.stopTimer(&g.creationTimer)
+
+	g.role = RoleLeader
+	g.label = label
+	g.weight = weight
+	g.state = state
+	g.reporters = make(map[radio.NodeID]time.Duration)
+
+	if g.cb.OnBecomeLeader != nil {
+		g.cb.OnBecomeLeader(label, state)
+	}
+	g.sendHeartbeat()
+	g.scheduleNextHeartbeat()
+}
+
+// scheduleNextHeartbeat arms the next heartbeat with a small symmetric
+// jitter so that leaders created at the same instant (a target appearing
+// over several motes at once) do not collide in lockstep forever.
+func (g *Manager) scheduleNextHeartbeat() {
+	jitter := 1 + g.cfg.JitterFrac*(g.m.Rand().Float64()-0.5)
+	d := time.Duration(float64(g.cfg.HeartbeatPeriod) * jitter)
+	g.hbTimer = g.m.Scheduler().After(d, func() {
+		if g.m.Failed() || g.role != RoleLeader {
+			return
+		}
+		g.sendHeartbeat()
+		g.scheduleNextHeartbeat()
+	})
+}
+
+func (g *Manager) sendHeartbeat() {
+	g.hbSeq++
+	hb := Heartbeat{
+		CtxType:   g.ctxType,
+		Label:     g.label,
+		Leader:    g.m.ID(),
+		LeaderLoc: g.m.Pos(),
+		Weight:    g.weight,
+		Seq:       g.hbSeq,
+		HopsPast:  g.cfg.HopsPast,
+		State:     g.state,
+	}
+	g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(g.state)*8, hb)
+}
+
+// leaderStepDown handles a leader that stopped sensing: explicit
+// relinquish when enabled, silent departure otherwise.
+func (g *Manager) leaderStepDown() {
+	label, weight, state := g.label, g.weight, g.state
+	if !g.cfg.DisableRelinquish {
+		if successor, ok := g.pickSuccessor(); ok {
+			g.m.Broadcast(trace.KindRelinquish, g.cfg.HeartbeatBits+len(state)*8, Relinquish{
+				CtxType:   g.ctxType,
+				Label:     label,
+				OldLeader: g.m.ID(),
+				NewLeader: successor,
+				Weight:    weight,
+				State:     state,
+			})
+		}
+	}
+	g.loseLeadership()
+	// Remember the label so that re-sensing rejoins rather than respawns.
+	g.rememberLabel(label, radio.Broadcast, weight, state)
+}
+
+// pickSuccessor chooses the member with the most recent report (ties broken
+// by lowest id) that reported within two report periods.
+func (g *Manager) pickSuccessor() (radio.NodeID, bool) {
+	horizon := g.m.Scheduler().Now() - 2*g.cfg.ReportPeriod
+	best := radio.NodeID(-1)
+	var bestAt time.Duration = -1
+	for id, at := range g.reporters {
+		if at < horizon {
+			continue
+		}
+		if at > bestAt || (at == bestAt && (best < 0 || id < best)) {
+			best, bestAt = id, at
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (g *Manager) loseLeadership() {
+	label := g.label
+	g.stopLeaderDuties()
+	g.role = RoleNone
+	g.label = ""
+	if g.cb.OnLoseLeadership != nil {
+		g.cb.OnLoseLeadership(label)
+	}
+}
+
+func (g *Manager) stopLeaderDuties() {
+	g.stopTimer(&g.hbTimer)
+}
+
+// --- membership ---
+
+func (g *Manager) joinWaitedLabel() {
+	g.stopTimer(&g.creationTimer)
+	label, leader, weight, state := g.waitLabel, g.waitLeader, g.waitWeight, g.waitState
+	g.stopTimer(&g.waitTimer)
+	g.becomeMember(label, leader, weight, state)
+}
+
+func (g *Manager) becomeMember(label Label, leader radio.NodeID, weight uint64, state []byte) {
+	wasLeader := g.role == RoleLeader
+	if wasLeader {
+		oldLabel := g.label
+		g.stopLeaderDuties()
+		if g.cb.OnLoseLeadership != nil {
+			g.cb.OnLoseLeadership(oldLabel)
+		}
+	}
+	g.stopTimer(&g.waitTimer)
+	g.stopTimer(&g.creationTimer)
+
+	g.role = RoleMember
+	g.label = label
+	g.leaderID = leader
+	g.lastWeight = weight
+	g.lastState = state
+	g.armReceiveTimer()
+	g.startReporting()
+}
+
+func (g *Manager) armReceiveTimer() {
+	g.stopTimer(&g.receiveTimer)
+	d := g.cfg.receiveTimeout(g.m.Rand().Float64())
+	g.receiveTimer = g.m.Scheduler().After(d, g.onReceiveTimeout)
+}
+
+func (g *Manager) onReceiveTimeout() {
+	if g.m.Failed() || g.role != RoleMember {
+		return
+	}
+	label, weight, state := g.label, g.lastWeight, g.lastState
+	if !g.sensing {
+		g.leaveMembership()
+		return
+	}
+	// Leadership takeover: continue the same label with the inherited
+	// weight and persistent state.
+	g.stopMemberDuties()
+	g.recordEvent(trace.LabelTakeover, label)
+	g.becomeLeader(label, weight, state)
+}
+
+func (g *Manager) startReporting() {
+	g.stopReporting()
+	// Desynchronize members: first report after a random fraction of the
+	// report period, then periodic.
+	first := time.Duration(g.m.Rand().Float64() * float64(g.cfg.ReportPeriod))
+	g.reportDelay = g.m.Scheduler().After(first, func() {
+		if g.m.Failed() || g.role != RoleMember {
+			return
+		}
+		g.sendReport()
+		g.reportTicker = simtime.NewTicker(g.m.Scheduler(), g.cfg.ReportPeriod, func() {
+			if g.m.Failed() || g.role != RoleMember {
+				return
+			}
+			g.sendReport()
+		})
+	})
+}
+
+func (g *Manager) sendReport() {
+	var payload any
+	if g.cb.ReportPayload != nil {
+		payload = g.cb.ReportPayload()
+	}
+	rep := Report{CtxType: g.ctxType, Label: g.label, Reporter: g.m.ID(), Payload: payload}
+	g.m.Send(trace.KindReading, g.leaderID, g.cfg.ReportBits, rep)
+}
+
+func (g *Manager) stopReporting() {
+	g.stopTimer(&g.reportDelay)
+	if g.reportTicker != nil {
+		g.reportTicker.Stop()
+		g.reportTicker = nil
+	}
+}
+
+func (g *Manager) leaveMembership() {
+	label, weight, state := g.label, g.lastWeight, g.lastState
+	g.stopMemberDuties()
+	g.role = RoleNone
+	g.label = ""
+	// Keep memory of the label so a quick re-sense rejoins it.
+	g.rememberLabel(label, g.leaderID, weight, state)
+}
+
+func (g *Manager) stopMemberDuties() {
+	g.stopTimer(&g.receiveTimer)
+	g.stopReporting()
+}
+
+// rememberLabel stores wait-timer memory of a nearby label.
+func (g *Manager) rememberLabel(label Label, leader radio.NodeID, weight uint64, state []byte) {
+	g.waitLabel = label
+	g.waitLeader = leader
+	g.waitWeight = weight
+	g.waitState = state
+	g.stopTimer(&g.waitTimer)
+	g.waitTimer = g.m.Scheduler().After(g.cfg.waitTimeout(), func() {})
+}
+
+func (g *Manager) stopTimer(t **simtime.Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+// --- frame handling ---
+
+func (g *Manager) handleFrame(f radio.Frame) bool {
+	switch msg := f.Payload.(type) {
+	case Heartbeat:
+		if msg.CtxType != g.ctxType {
+			return false
+		}
+		g.onHeartbeat(msg)
+		return true
+	case Report:
+		if msg.CtxType != g.ctxType {
+			return false
+		}
+		g.onReport(msg)
+		return true
+	case Relinquish:
+		if msg.CtxType != g.ctxType {
+			return false
+		}
+		g.onRelinquish(msg)
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *Manager) onHeartbeat(hb Heartbeat) {
+	// Deduplicate flood copies; duplicates feed the broadcast-storm
+	// suppression counter of a pending rebroadcast.
+	key := string(hb.Label) + "/" + fmt.Sprint(hb.Leader)
+	if last, ok := g.seenHB[key]; ok && hb.Seq <= last {
+		if pf, ok := g.pendingFwds[key]; ok && pf.seq == hb.Seq {
+			pf.dups++
+		}
+		return
+	}
+	g.seenHB[key] = hb.Seq
+
+	g.forwardHeartbeat(key, hb)
+
+	switch g.role {
+	case RoleLeader:
+		g.leaderOnHeartbeat(hb)
+	case RoleMember:
+		g.memberOnHeartbeat(hb)
+	default:
+		g.idleOnHeartbeat(hb)
+	}
+}
+
+// forwardHeartbeat implements the h-hop heartbeat propagation: the
+// leader's single broadcast is normally enough to flood the group (the
+// sensors in a group are physically close), and each additional hop of
+// propagation past that consumes one unit of the HopsPast budget — h=0
+// means no relaying at all, which is exactly the Figure 4 setting where
+// handovers start to fail. Rebroadcasts are jittered, and counter-based
+// broadcast-storm suppression cancels a pending rebroadcast when enough
+// copies are overheard first.
+func (g *Manager) forwardHeartbeat(key string, hb Heartbeat) {
+	if hb.Leader == g.m.ID() {
+		return
+	}
+	if hb.HopsPast <= 0 {
+		return
+	}
+	fwd := hb
+	fwd.HopsPast = hb.HopsPast - 1
+	if pf, ok := g.pendingFwds[key]; ok {
+		// A newer heartbeat supersedes the older pending rebroadcast.
+		pf.timer.Stop()
+	}
+	pf := &pendingForward{seq: hb.Seq}
+	delay := time.Duration(g.m.Rand().Float64() * float64(g.cfg.FloodJitter))
+	pf.timer = g.m.Scheduler().After(delay, func() {
+		delete(g.pendingFwds, key)
+		if g.m.Failed() || pf.dups >= g.cfg.FloodSuppress {
+			return
+		}
+		g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(hb.State)*8, fwd)
+	})
+	g.pendingFwds[key] = pf
+}
+
+// outranks reports whether the (weight, tiebreak) pair of a foreign
+// leadership beats ours.
+func outranks(otherWeight, myWeight uint64, otherTie, myTie string) bool {
+	if otherWeight != myWeight {
+		return otherWeight > myWeight
+	}
+	return otherTie > myTie
+}
+
+// foreignOutranks decides between two *different* labels of the same
+// context type. Weights observed via heartbeats are stale, so two groups
+// around the same entity can leapfrog each other's weight indefinitely;
+// within a slack band the label identity breaks the tie, which is a
+// globally consistent order and therefore guarantees the groups merge.
+func (g *Manager) foreignOutranks(otherWeight, myWeight uint64, otherLabel, myLabel Label) bool {
+	slack := uint64(g.cfg.WeightSlack)
+	switch {
+	case otherWeight > myWeight+slack:
+		return true
+	case myWeight > otherWeight+slack:
+		return false
+	default:
+		return otherLabel > myLabel
+	}
+}
+
+func (g *Manager) leaderOnHeartbeat(hb Heartbeat) {
+	if hb.Label == g.label {
+		if hb.Leader == g.m.ID() {
+			return
+		}
+		// Two leaders within one context label: the lower-priority one
+		// yields immediately to prevent redundant behavior.
+		if outranks(hb.Weight, g.weight, fmt.Sprint(hb.Leader), fmt.Sprint(g.m.ID())) {
+			g.recordEvent(trace.LabelYield, g.label)
+			g.becomeMember(hb.Label, hb.Leader, hb.Weight, hb.State)
+		}
+		return
+	}
+	// A different label of the same type: the smaller-weight label is
+	// spurious — delete it and join the heavier group.
+	if g.foreignOutranks(hb.Weight, g.weight, hb.Label, g.label) {
+		g.recordEvent(trace.LabelDeleted, g.label)
+		if g.cb.OnLabelDeleted != nil {
+			g.cb.OnLabelDeleted(g.label)
+		}
+		if g.sensing {
+			g.becomeMember(hb.Label, hb.Leader, hb.Weight, hb.State)
+		} else {
+			g.loseLeadership()
+			g.rememberLabel(hb.Label, hb.Leader, hb.Weight, hb.State)
+		}
+	}
+}
+
+func (g *Manager) memberOnHeartbeat(hb Heartbeat) {
+	if hb.Label == g.label {
+		g.leaderID = hb.Leader
+		g.lastWeight = hb.Weight
+		g.lastState = hb.State
+		g.armReceiveTimer()
+		return
+	}
+	// Prefer the heavier label (ignore leaders with smaller weight).
+	if g.foreignOutranks(hb.Weight, g.lastWeight, hb.Label, g.label) {
+		g.becomeMember(hb.Label, hb.Leader, hb.Weight, hb.State)
+	}
+}
+
+func (g *Manager) idleOnHeartbeat(hb Heartbeat) {
+	// Remember the nearest (heaviest) label; if we sense the condition
+	// before the wait timer expires we join instead of spawning.
+	if g.waitTimer.Pending() && hb.Label != g.waitLabel &&
+		!g.foreignOutranks(hb.Weight, g.waitWeight, hb.Label, g.waitLabel) {
+		return
+	}
+	g.rememberLabel(hb.Label, hb.Leader, hb.Weight, hb.State)
+	if g.sensing {
+		// Sensing during creation backoff: join right away.
+		g.joinWaitedLabel()
+	}
+}
+
+func (g *Manager) onReport(rep Report) {
+	if g.role != RoleLeader || rep.Label != g.label {
+		return
+	}
+	g.weight++
+	g.reporters[rep.Reporter] = g.m.Scheduler().Now()
+	if g.cb.OnReport != nil {
+		g.cb.OnReport(rep.Reporter, rep.Payload)
+	}
+}
+
+func (g *Manager) onRelinquish(rel Relinquish) {
+	if rel.NewLeader == g.m.ID() && g.sensing && g.role != RoleLeader {
+		g.recordEvent(trace.LabelRelinquish, rel.Label)
+		g.becomeLeader(rel.Label, rel.Weight, rel.State)
+		return
+	}
+	if g.role == RoleMember && rel.Label == g.label {
+		// Expect the successor's heartbeat shortly; refresh our view.
+		g.leaderID = rel.NewLeader
+		g.lastWeight = rel.Weight
+		g.lastState = rel.State
+		g.armReceiveTimer()
+	}
+}
+
+func (g *Manager) recordEvent(ty trace.LabelEventType, label Label) {
+	if g.ledger == nil {
+		return
+	}
+	g.ledger.Record(trace.LabelEvent{
+		At:      g.m.Scheduler().Now(),
+		Type:    ty,
+		Label:   string(label),
+		CtxType: g.ctxType,
+		Mote:    int(g.m.ID()),
+	})
+}

@@ -1,0 +1,48 @@
+package group
+
+import (
+	"envirotrack/internal/geom"
+	"envirotrack/internal/radio"
+)
+
+// Label identifies a context label: the persistent logical address of a
+// tracked entity. Labels are unique strings minted by the creating mote.
+type Label string
+
+// Heartbeat is the leader's periodic announcement (Section 5.2). It floods
+// the sensor group and propagates HopsPast hops beyond the perimeter to
+// warn nearby nodes that the context label exists. Weight is the number of
+// member messages the leadership has received to date and suppresses
+// spurious labels. State carries the label's persistent application state
+// so a new leader can resume the computation of a failed one.
+type Heartbeat struct {
+	CtxType   string
+	Label     Label
+	Leader    radio.NodeID
+	LeaderLoc geom.Point // the leader's position (nodes are location-aware)
+	Weight    uint64
+	Seq       uint64
+	HopsPast  int
+	State     []byte
+}
+
+// Report is a member's periodic measurement message to its leader, sent at
+// the data-collection period Pe = Le - d. Payload is owned by the
+// middleware layer (sensor samples for the aggregate state variables).
+type Report struct {
+	CtxType  string
+	Label    Label
+	Reporter radio.NodeID
+	Payload  any
+}
+
+// Relinquish is broadcast by a leader that no longer senses the tracked
+// event, explicitly handing leadership to a recently reporting member.
+type Relinquish struct {
+	CtxType   string
+	Label     Label
+	OldLeader radio.NodeID
+	NewLeader radio.NodeID
+	Weight    uint64
+	State     []byte
+}

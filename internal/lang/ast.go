@@ -1,0 +1,249 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Program is a parsed EnviroTrack source file: a list of context
+// declarations.
+type Program struct {
+	Contexts []*ContextDecl
+}
+
+// ContextDecl is one `begin context ... end context` block.
+type ContextDecl struct {
+	Pos          Pos
+	Name         string
+	Activation   Expr
+	Deactivation Expr // nil: default inverse of activation
+	Vars         []*VarDecl
+	Objects      []*ObjectDecl
+}
+
+// VarDecl is an aggregate state variable declaration:
+//
+//	location : avg(position) confidence=2, freshness=1s
+type VarDecl struct {
+	Pos        Pos
+	Name       string
+	Func       string // aggregation function name
+	Input      string // sensor name or "position"
+	Confidence int    // critical mass Ne
+	Freshness  time.Duration
+}
+
+// ObjectDecl is an attached tracking object.
+type ObjectDecl struct {
+	Pos     Pos
+	Name    string
+	Methods []*MethodDecl
+}
+
+// InvocationKind distinguishes method triggers.
+type InvocationKind int
+
+// Invocation kinds.
+const (
+	InvokeTimer InvocationKind = iota + 1
+	InvokeCondition
+	InvokeMessage
+)
+
+// Invocation is a method's `invocation:` clause.
+type Invocation struct {
+	Kind   InvocationKind
+	Period time.Duration // InvokeTimer
+	Cond   Expr          // InvokeCondition
+	Port   int           // InvokeMessage
+}
+
+// MethodDecl is one method of an object: invocation clause plus body.
+type MethodDecl struct {
+	Pos        Pos
+	Name       string
+	Invocation Invocation
+	Body       []*CallStmt
+}
+
+// CallStmt is a body statement: a call to a built-in action or a
+// registered action function.
+type CallStmt struct {
+	Pos  Pos
+	Name string
+	Args []Arg
+}
+
+// ArgKind classifies a call argument.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgIdent ArgKind = iota + 1 // variable reference or named destination
+	ArgSelfLabel
+	ArgNumber
+	ArgString
+)
+
+// Arg is one call argument.
+type Arg struct {
+	Kind ArgKind
+	Text string  // identifier or string text
+	Num  float64 // ArgNumber
+}
+
+// Expr is a boolean expression: activation conditions reference sensing
+// functions and sensor channels; invocation conditions reference aggregate
+// variables.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// BinExpr is `l and r` / `l or r`.
+type BinExpr struct {
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+func (*BinExpr) expr() {}
+
+// String implements Expr.
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// NotExpr is `not e`.
+type NotExpr struct {
+	E Expr
+}
+
+func (*NotExpr) expr() {}
+
+// String implements Expr.
+func (e *NotExpr) String() string {
+	return fmt.Sprintf("(not %s)", e.E)
+}
+
+// CallExpr is `name()` — a registered sensing function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+}
+
+func (*CallExpr) expr() {}
+
+// String implements Expr.
+func (e *CallExpr) String() string {
+	return e.Name + "()"
+}
+
+// CmpExpr is `name op number`: a comparison of a sensor channel (in an
+// activation) or an aggregate variable (in an invocation condition).
+type CmpExpr struct {
+	Pos   Pos
+	Name  string
+	Op    string // > < >= <= == !=
+	Value float64
+}
+
+func (*CmpExpr) expr() {}
+
+// String implements Expr.
+func (e *CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.Name, e.Op, formatNumber(e.Value))
+}
+
+func formatNumber(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// formatDuration prints durations in source syntax (5s, 250ms).
+func formatDuration(d time.Duration) string {
+	switch {
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	case d%time.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	default:
+		return fmt.Sprintf("%dus", d/time.Microsecond)
+	}
+}
+
+// Format renders the program back to canonical source text; Parse(Format(p))
+// reproduces an equivalent AST (the round-trip property tested in the
+// package tests).
+func (p *Program) Format() string {
+	var b strings.Builder
+	for i, c := range p.Contexts {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		c.format(&b)
+	}
+	return b.String()
+}
+
+func (c *ContextDecl) format(b *strings.Builder) {
+	fmt.Fprintf(b, "begin context %s\n", c.Name)
+	fmt.Fprintf(b, "    activation: %s\n", c.Activation)
+	if c.Deactivation != nil {
+		fmt.Fprintf(b, "    deactivation: %s\n", c.Deactivation)
+	}
+	for _, v := range c.Vars {
+		fmt.Fprintf(b, "    %s : %s(%s) confidence=%d, freshness=%s\n",
+			v.Name, v.Func, v.Input, v.Confidence, formatDuration(v.Freshness))
+	}
+	for _, o := range c.Objects {
+		fmt.Fprintf(b, "    begin object %s\n", o.Name)
+		for _, m := range o.Methods {
+			fmt.Fprintf(b, "        invocation: %s\n", m.Invocation)
+			fmt.Fprintf(b, "        %s() {\n", m.Name)
+			for _, st := range m.Body {
+				fmt.Fprintf(b, "            %s;\n", st)
+			}
+			fmt.Fprintf(b, "        }\n")
+		}
+		fmt.Fprintf(b, "    end\n")
+	}
+	fmt.Fprintf(b, "end context\n")
+}
+
+// String implements fmt.Stringer.
+func (inv Invocation) String() string {
+	switch inv.Kind {
+	case InvokeTimer:
+		return fmt.Sprintf("TIMER(%s)", formatDuration(inv.Period))
+	case InvokeMessage:
+		return fmt.Sprintf("MESSAGE(%d)", inv.Port)
+	case InvokeCondition:
+		return inv.Cond.String()
+	default:
+		return "?"
+	}
+}
+
+// String implements fmt.Stringer.
+func (s *CallStmt) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(parts, ", "))
+}
+
+// String implements fmt.Stringer.
+func (a Arg) String() string {
+	switch a.Kind {
+	case ArgSelfLabel:
+		return "self:label"
+	case ArgNumber:
+		return formatNumber(a.Num)
+	case ArgString:
+		return fmt.Sprintf("%q", a.Text)
+	default:
+		return a.Text
+	}
+}

@@ -1,0 +1,93 @@
+package lang
+
+import (
+	goparser "go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseGo verifies emitted code is syntactically valid Go.
+func parseGo(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGeneratedGoIsValid(t *testing.T) {
+	sources := map[string]string{
+		"figure2": figure2,
+		"full": `
+begin context fire
+    activation: temperature > 180 and fire_sensor_reading()
+    deactivation: temperature < 100
+    heat : avg(temperature) confidence=5, freshness=3s
+    where : avg(position) confidence=2, freshness=1s
+    begin object alarm
+        invocation: heat > 300 or heat < 0
+        alarm_function() {
+            log("alarm", heat);
+            setstate("alarmed");
+            send(base, self:label, where);
+        }
+    end
+    begin object responder
+        invocation: MESSAGE(9)
+        on_query() {
+            send(base, heat);
+        }
+    end
+    begin object beacon
+        invocation: TIMER(250ms)
+        beep() {
+        }
+    end
+end context
+`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := GenerateGo(prog, "gen")
+			if err != nil {
+				t.Fatal(err)
+			}
+			parseGo(t, gen)
+		})
+	}
+}
+
+func TestGeneratedGoRejectsCustomActions(t *testing.T) {
+	src := `
+begin context x
+    activation: a > 1
+    begin object o
+        invocation: TIMER(1s)
+        m() { custom(); }
+    end
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateGo(prog, "gen"); err == nil {
+		t.Error("expected error generating code for unknown action")
+	}
+}
+
+func TestGeneratedGoDefaultPackage(t *testing.T) {
+	prog, err := Parse(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := GenerateGo(prog, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseGo(t, gen)
+}

@@ -1,0 +1,213 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes EnviroTrack source text. Comments run from "//" or "#"
+// to end of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over the source text.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input, ending with an EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos {
+	return Pos{Line: lx.line, Col: lx.col}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#', c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.ident(pos), nil
+	case c >= '0' && c <= '9':
+		return lx.number(pos)
+	case c == '"':
+		return lx.str(pos)
+	}
+	lx.advance()
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Text: ")", Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBRACE, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Text: "}", Pos: pos}, nil
+	case ':':
+		return Token{Kind: COLON, Text: ":", Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMI, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Text: ",", Pos: pos}, nil
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: EQ, Text: "==", Pos: pos}, nil
+		}
+		return Token{Kind: ASSIGN, Text: "=", Pos: pos}, nil
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: GE, Text: ">=", Pos: pos}, nil
+		}
+		return Token{Kind: GT, Text: ">", Pos: pos}, nil
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: LE, Text: "<=", Pos: pos}, nil
+		}
+		return Token{Kind: LT, Text: "<", Pos: pos}, nil
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: NE, Text: "!=", Pos: pos}, nil
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *Lexer) ident(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := keywords[strings.ToLower(text)]; ok {
+		return Token{Kind: kw, Text: text, Pos: pos}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: pos}
+}
+
+// number scans a numeric literal, optionally suffixed with a duration
+// unit (us, ms, s, m, h) — "5s", "250ms", "1.5s".
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.off
+	seenDot := false
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '.' {
+			if seenDot {
+				return Token{}, errf(pos, "malformed number")
+			}
+			seenDot = true
+			lx.advance()
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		lx.advance()
+	}
+	numEnd := lx.off
+	// Optional unit suffix.
+	for lx.off < len(lx.src) && isIdentStart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if lx.off > numEnd {
+		unit := lx.src[numEnd:lx.off]
+		switch unit {
+		case "us", "ms", "s", "m", "h":
+			return Token{Kind: DURATION, Text: text, Pos: pos}, nil
+		default:
+			return Token{}, errf(pos, "unknown duration unit %q", unit)
+		}
+	}
+	return Token{Kind: NUMBER, Text: text, Pos: pos}, nil
+}
+
+func (lx *Lexer) str(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	start := lx.off
+	for lx.off < len(lx.src) && lx.peek() != '"' && lx.peek() != '\n' {
+		lx.advance()
+	}
+	if lx.off >= len(lx.src) || lx.peek() != '"' {
+		return Token{}, errf(pos, "unterminated string")
+	}
+	text := lx.src[start:lx.off]
+	lx.advance() // closing quote
+	return Token{Kind: STRING, Text: text, Pos: pos}, nil
+}

@@ -1,0 +1,140 @@
+package lang
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeFigure2(t *testing.T) {
+	src := `begin context tracker
+  activation: magnetic_sensor_reading()
+  location : avg (position) confidence=2, freshness=1s
+end context`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KWBEGIN, KWCONTEXT, IDENT,
+		KWACTIVATION, COLON, IDENT, LPAREN, RPAREN,
+		IDENT, COLON, IDENT, LPAREN, IDENT, RPAREN,
+		IDENT, ASSIGN, NUMBER, COMMA, IDENT, ASSIGN, DURATION,
+		KWEND, KWCONTEXT, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token kinds = %v,\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (text %q)", i, got[i], want[i], toks[i].Text)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("> < >= <= == != = : ; , ( ) { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{GT, LT, GE, LE, EQ, NE, ASSIGN, COLON, SEMI, COMMA, LPAREN, RPAREN, LBRACE, RBRACE, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("begin // a comment\n# another\ncontext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWBEGIN, KWCONTEXT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizeDurations(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind Kind
+	}{
+		{"5s", DURATION},
+		{"250ms", DURATION},
+		{"1.5s", DURATION},
+		{"10us", DURATION},
+		{"2h", DURATION},
+		{"42", NUMBER},
+		{"3.14", NUMBER},
+	}
+	for _, tt := range tests {
+		toks, err := Tokenize(tt.src)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", tt.src, err)
+			continue
+		}
+		if toks[0].Kind != tt.kind {
+			t.Errorf("Tokenize(%q) kind = %v, want %v", tt.src, toks[0].Kind, tt.kind)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	tests := []string{
+		"5q",      // unknown unit
+		"3.1.4",   // double dot
+		"@",       // stray character
+		`"no end`, // unterminated string
+	}
+	for _, src := range tests {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTokenizeString(t *testing.T) {
+	toks, err := Tokenize(`"hello world"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != STRING || toks[0].Text != "hello world" {
+		t.Errorf("string token = %+v", toks[0])
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("begin\n  context")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("BEGIN Context")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KWBEGIN || toks[1].Kind != KWCONTEXT {
+		t.Errorf("kinds = %v %v", toks[0].Kind, toks[1].Kind)
+	}
+}

@@ -1,0 +1,483 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses EnviroTrack source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s %q", k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		ctx, err := p.context()
+		if err != nil {
+			return nil, err
+		}
+		prog.Contexts = append(prog.Contexts, ctx)
+	}
+	if len(prog.Contexts) == 0 {
+		return nil, errf(p.cur().Pos, "empty program: expected at least one context declaration")
+	}
+	return prog, nil
+}
+
+// context: 'begin' 'context' IDENT activation [deactivation] {var | object} 'end' 'context'
+func (p *Parser) context() (*ContextDecl, error) {
+	begin, err := p.expect(KWBEGIN)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWCONTEXT); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &ContextDecl{Pos: begin.Pos, Name: name.Text}
+
+	if _, err := p.expect(KWACTIVATION); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	ctx.Activation, err = p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(SEMI)
+
+	if p.accept(KWDEACTIVATION) {
+		if _, err := p.expect(COLON); err != nil {
+			return nil, err
+		}
+		ctx.Deactivation, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(SEMI)
+	}
+
+	for {
+		switch {
+		case p.at(KWBEGIN):
+			obj, err := p.object()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Objects = append(ctx.Objects, obj)
+		case p.at(IDENT):
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Vars = append(ctx.Vars, v)
+		case p.at(KWEND):
+			p.next()
+			if _, err := p.expect(KWCONTEXT); err != nil {
+				return nil, err
+			}
+			return ctx, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected variable declaration, object, or 'end context', found %s %q",
+				p.cur().Kind, p.cur().Text)
+		}
+	}
+}
+
+// varDecl: IDENT ':' IDENT '(' IDENT ')' attributes [';']
+func (p *Parser) varDecl() (*VarDecl, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	input, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	v := &VarDecl{Pos: name.Pos, Name: name.Text, Func: fn.Text, Input: input.Text, Confidence: 1}
+
+	// attributes: ident '=' value {',' ident '=' value}
+	for p.at(IDENT) {
+		attr := p.next()
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(attr.Text) {
+		case "confidence":
+			num, err := p.expect(NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(num.Text)
+			if err != nil || n < 1 {
+				return nil, errf(num.Pos, "confidence must be a positive integer")
+			}
+			v.Confidence = n
+		case "freshness":
+			d, err := p.duration()
+			if err != nil {
+				return nil, err
+			}
+			v.Freshness = d
+		default:
+			return nil, errf(attr.Pos, "unknown attribute %q (want confidence or freshness)", attr.Text)
+		}
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.accept(SEMI)
+	if v.Freshness <= 0 {
+		return nil, errf(v.Pos, "variable %q needs a freshness attribute", v.Name)
+	}
+	return v, nil
+}
+
+// object: 'begin' 'object' IDENT {method} 'end'
+func (p *Parser) object() (*ObjectDecl, error) {
+	begin, err := p.expect(KWBEGIN)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWOBJECT); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	obj := &ObjectDecl{Pos: begin.Pos, Name: name.Text}
+	for !p.at(KWEND) {
+		m, err := p.method()
+		if err != nil {
+			return nil, err
+		}
+		obj.Methods = append(obj.Methods, m)
+	}
+	p.next() // end
+	if len(obj.Methods) == 0 {
+		return nil, errf(begin.Pos, "object %q has no methods", obj.Name)
+	}
+	return obj, nil
+}
+
+// method: 'invocation' ':' invocation IDENT '(' ')' '{' {stmt} '}'
+func (p *Parser) method() (*MethodDecl, error) {
+	if _, err := p.expect(KWINVOCATION); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	inv, err := p.invocation()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	m := &MethodDecl{Pos: name.Pos, Name: name.Text, Invocation: inv}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(RBRACE) {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		m.Body = append(m.Body, st)
+	}
+	p.next() // }
+	return m, nil
+}
+
+// invocation: TIMER '(' duration ')' | MESSAGE '(' number ')' | expr
+func (p *Parser) invocation() (Invocation, error) {
+	if p.at(IDENT) {
+		switch strings.ToUpper(p.cur().Text) {
+		case "TIMER":
+			p.next()
+			if _, err := p.expect(LPAREN); err != nil {
+				return Invocation{}, err
+			}
+			d, err := p.duration()
+			if err != nil {
+				return Invocation{}, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return Invocation{}, err
+			}
+			if d <= 0 {
+				return Invocation{}, errf(p.cur().Pos, "timer period must be positive")
+			}
+			return Invocation{Kind: InvokeTimer, Period: d}, nil
+		case "MESSAGE":
+			p.next()
+			if _, err := p.expect(LPAREN); err != nil {
+				return Invocation{}, err
+			}
+			num, err := p.expect(NUMBER)
+			if err != nil {
+				return Invocation{}, err
+			}
+			port, err := strconv.Atoi(num.Text)
+			if err != nil || port < 1 || port > 65535 {
+				return Invocation{}, errf(num.Pos, "message port must be in 1..65535")
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return Invocation{}, err
+			}
+			return Invocation{Kind: InvokeMessage, Port: port}, nil
+		}
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return Invocation{}, err
+	}
+	return Invocation{Kind: InvokeCondition, Cond: cond}, nil
+}
+
+// stmt: IDENT '(' [arg {',' arg}] ')' ';'
+func (p *Parser) stmt() (*CallStmt, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	st := &CallStmt{Pos: name.Pos, Name: name.Text}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for !p.at(RPAREN) {
+		arg, err := p.arg()
+		if err != nil {
+			return nil, err
+		}
+		st.Args = append(st.Args, arg)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) arg() (Arg, error) {
+	switch p.cur().Kind {
+	case KWSELF:
+		p.next()
+		if _, err := p.expect(COLON); err != nil {
+			return Arg{}, err
+		}
+		label, err := p.expect(IDENT)
+		if err != nil {
+			return Arg{}, err
+		}
+		if label.Text != "label" {
+			return Arg{}, errf(label.Pos, "expected self:label, found self:%s", label.Text)
+		}
+		return Arg{Kind: ArgSelfLabel}, nil
+	case IDENT:
+		return Arg{Kind: ArgIdent, Text: p.next().Text}, nil
+	case NUMBER:
+		tok := p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return Arg{}, errf(tok.Pos, "malformed number %q", tok.Text)
+		}
+		return Arg{Kind: ArgNumber, Num: v}, nil
+	case STRING:
+		return Arg{Kind: ArgString, Text: p.next().Text}, nil
+	default:
+		return Arg{}, errf(p.cur().Pos, "expected argument, found %s %q", p.cur().Kind, p.cur().Text)
+	}
+}
+
+// expr: andExpr {'or' andExpr}
+func (p *Parser) expr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(KWOR) {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+// andExpr: unary {'and' unary}
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(KWAND) {
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+// unary: 'not' unary | '(' expr ')' | IDENT '(' ')' | IDENT relop number
+func (p *Parser) unaryExpr() (Expr, error) {
+	if p.accept(KWNOT) {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.accept(LPAREN) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	ident, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(LPAREN) {
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &CallExpr{Pos: ident.Pos, Name: ident.Text}, nil
+	}
+	op := p.cur()
+	switch op.Kind {
+	case GT, LT, GE, LE, EQ, NE:
+		p.next()
+	default:
+		return nil, errf(op.Pos, "expected comparison operator after %q, found %s", ident.Text, op.Kind)
+	}
+	num, err := p.expect(NUMBER)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return nil, errf(num.Pos, "malformed number %q", num.Text)
+	}
+	return &CmpExpr{Pos: ident.Pos, Name: ident.Text, Op: op.Text, Value: v}, nil
+}
+
+// duration parses DURATION or a bare NUMBER interpreted as seconds.
+func (p *Parser) duration() (time.Duration, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case DURATION:
+		p.next()
+		return parseDuration(tok)
+	case NUMBER:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return 0, errf(tok.Pos, "malformed number %q", tok.Text)
+		}
+		return time.Duration(v * float64(time.Second)), nil
+	default:
+		return 0, errf(tok.Pos, "expected duration, found %s %q", tok.Kind, tok.Text)
+	}
+}
+
+func parseDuration(tok Token) (time.Duration, error) {
+	text := tok.Text
+	i := len(text)
+	for i > 0 && (text[i-1] < '0' || text[i-1] > '9') && text[i-1] != '.' {
+		i--
+	}
+	num, unit := text[:i], text[i:]
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, errf(tok.Pos, "malformed duration %q", text)
+	}
+	var scale time.Duration
+	switch unit {
+	case "us":
+		scale = time.Microsecond
+	case "ms":
+		scale = time.Millisecond
+	case "s":
+		scale = time.Second
+	case "m":
+		scale = time.Minute
+	case "h":
+		scale = time.Hour
+	default:
+		return 0, errf(tok.Pos, "unknown duration unit %q", unit)
+	}
+	return time.Duration(v * float64(scale)), nil
+}

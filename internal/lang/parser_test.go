@@ -1,0 +1,300 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// figure2 is the paper's example program (Figure 2), in this
+// implementation's concrete syntax.
+const figure2 = `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            send(pursuer, self:label, location);
+        }
+    end
+end context
+`
+
+func TestParseFigure2(t *testing.T) {
+	prog, err := Parse(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Contexts) != 1 {
+		t.Fatalf("contexts = %d, want 1", len(prog.Contexts))
+	}
+	ctx := prog.Contexts[0]
+	if ctx.Name != "tracker" {
+		t.Errorf("name = %q", ctx.Name)
+	}
+	call, ok := ctx.Activation.(*CallExpr)
+	if !ok || call.Name != "magnetic_sensor_reading" {
+		t.Errorf("activation = %v", ctx.Activation)
+	}
+	if len(ctx.Vars) != 1 {
+		t.Fatalf("vars = %d, want 1", len(ctx.Vars))
+	}
+	v := ctx.Vars[0]
+	if v.Name != "location" || v.Func != "avg" || v.Input != "position" {
+		t.Errorf("var = %+v", v)
+	}
+	if v.Confidence != 2 || v.Freshness != time.Second {
+		t.Errorf("QoS = %d/%v, want 2/1s", v.Confidence, v.Freshness)
+	}
+	if len(ctx.Objects) != 1 || ctx.Objects[0].Name != "reporter" {
+		t.Fatalf("objects = %+v", ctx.Objects)
+	}
+	m := ctx.Objects[0].Methods[0]
+	if m.Name != "report_function" {
+		t.Errorf("method = %q", m.Name)
+	}
+	if m.Invocation.Kind != InvokeTimer || m.Invocation.Period != 5*time.Second {
+		t.Errorf("invocation = %+v", m.Invocation)
+	}
+	if len(m.Body) != 1 {
+		t.Fatalf("body = %d stmts", len(m.Body))
+	}
+	st := m.Body[0]
+	if st.Name != "send" || len(st.Args) != 3 {
+		t.Fatalf("stmt = %+v", st)
+	}
+	if st.Args[0].Kind != ArgIdent || st.Args[0].Text != "pursuer" {
+		t.Errorf("arg0 = %+v", st.Args[0])
+	}
+	if st.Args[1].Kind != ArgSelfLabel {
+		t.Errorf("arg1 = %+v", st.Args[1])
+	}
+	if st.Args[2].Kind != ArgIdent || st.Args[2].Text != "location" {
+		t.Errorf("arg2 = %+v", st.Args[2])
+	}
+}
+
+func TestParseBooleanActivation(t *testing.T) {
+	src := `
+begin context fire
+    activation: temperature > 180 and light > 0.5
+    heat : avg(temperature) confidence=5, freshness=3s
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := prog.Contexts[0].Activation.(*BinExpr)
+	if !ok || bin.Op != "and" {
+		t.Fatalf("activation = %v", prog.Contexts[0].Activation)
+	}
+	l, ok := bin.L.(*CmpExpr)
+	if !ok || l.Name != "temperature" || l.Op != ">" || l.Value != 180 {
+		t.Errorf("left = %v", bin.L)
+	}
+}
+
+func TestParseDeactivationAndConditionMethod(t *testing.T) {
+	src := `
+begin context fire
+    activation: fire_sensor_reading()
+    deactivation: temperature < 100
+    heat : avg(temperature) confidence=2, freshness=2s
+    begin object alarm
+        invocation: heat > 300
+        panic_function() {
+            log(heat);
+        }
+    end
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := prog.Contexts[0]
+	if ctx.Deactivation == nil {
+		t.Fatal("deactivation not parsed")
+	}
+	m := ctx.Objects[0].Methods[0]
+	if m.Invocation.Kind != InvokeCondition {
+		t.Fatalf("invocation kind = %v", m.Invocation.Kind)
+	}
+	cmp, ok := m.Invocation.Cond.(*CmpExpr)
+	if !ok || cmp.Name != "heat" || cmp.Value != 300 {
+		t.Errorf("condition = %v", m.Invocation.Cond)
+	}
+}
+
+func TestParseMessageInvocation(t *testing.T) {
+	src := `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    begin object listener
+        invocation: MESSAGE(7)
+        on_ping() {
+            log("ping");
+        }
+    end
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Contexts[0].Objects[0].Methods[0]
+	if m.Invocation.Kind != InvokeMessage || m.Invocation.Port != 7 {
+		t.Errorf("invocation = %+v", m.Invocation)
+	}
+}
+
+func TestParseMultipleContexts(t *testing.T) {
+	src := figure2 + `
+begin context fire
+    activation: fire_sensor_reading()
+    heat : max(temperature) confidence=1, freshness=2s
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Contexts) != 2 {
+		t.Fatalf("contexts = %d, want 2", len(prog.Contexts))
+	}
+	if prog.Contexts[1].Name != "fire" {
+		t.Errorf("second context = %q", prog.Contexts[1].Name)
+	}
+}
+
+func TestParseNotAndParens(t *testing.T) {
+	src := `
+begin context x
+    activation: not (a > 1 or b < 2)
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	not, ok := prog.Contexts[0].Activation.(*NotExpr)
+	if !ok {
+		t.Fatalf("activation = %v", prog.Contexts[0].Activation)
+	}
+	if _, ok := not.E.(*BinExpr); !ok {
+		t.Errorf("inner = %v", not.E)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{name: "empty", src: "", want: "empty program"},
+		{name: "missing activation", src: "begin context x end context", want: "expected 'activation'"},
+		{name: "missing freshness", src: "begin context x activation: f() v : avg(a) confidence=2 end context", want: "freshness"},
+		{name: "bad confidence", src: "begin context x activation: f() v : avg(a) confidence=0, freshness=1s end context", want: "positive integer"},
+		{name: "object without methods", src: "begin context x activation: f() begin object o end end context", want: "no methods"},
+		{name: "bad port", src: "begin context x activation: f() begin object o invocation: MESSAGE(0) m() { } end end context", want: "port"},
+		{name: "bad self arg", src: "begin context x activation: f() begin object o invocation: TIMER(1s) m() { send(p, self:id); } end end context", want: "self:label"},
+		{name: "unknown attribute", src: "begin context x activation: f() v : avg(a) weight=1, freshness=1s end context", want: "unknown attribute"},
+		{name: "missing comparison", src: "begin context x activation: temperature end context", want: "comparison operator"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse("begin context x\n  oops")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Pos.Line)
+	}
+}
+
+// Round trip: Format then Parse reproduces an equivalent AST.
+func TestFormatParseRoundTrip(t *testing.T) {
+	sources := []string{
+		figure2,
+		`
+begin context fire
+    activation: temperature > 180 and light > 0.5
+    deactivation: temperature < 100
+    heat : avg(temperature) confidence=5, freshness=3s
+    pos : avg(position) confidence=2, freshness=1500ms
+    begin object alarm
+        invocation: heat > 300
+        alarm_function() {
+            log("alarm", heat);
+            setstate("alarmed");
+        }
+    end
+    begin object responder
+        invocation: MESSAGE(9)
+        on_query() {
+            send(base, self:label, heat, pos);
+        }
+    end
+end context
+`,
+	}
+	for i, src := range sources {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		formatted := p1.Format()
+		p2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("source %d: reparse of formatted output failed: %v\n%s", i, err, formatted)
+		}
+		if got := p2.Format(); got != formatted {
+			t.Errorf("source %d: format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", i, formatted, got)
+		}
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	tests := []struct {
+		src  string
+		want time.Duration
+	}{
+		{"TIMER(5s)", 5 * time.Second},
+		{"TIMER(250ms)", 250 * time.Millisecond},
+		{"TIMER(1.5s)", 1500 * time.Millisecond},
+		{"TIMER(2m)", 2 * time.Minute},
+		{"TIMER(3)", 3 * time.Second}, // bare number = seconds
+	}
+	for _, tt := range tests {
+		src := "begin context x activation: f() begin object o invocation: " +
+			tt.src + " m() { } end end context"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", tt.src, err)
+			continue
+		}
+		got := prog.Contexts[0].Objects[0].Methods[0].Invocation.Period
+		if got != tt.want {
+			t.Errorf("%s period = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}

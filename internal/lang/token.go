@@ -1,0 +1,177 @@
+// Package lang implements the EnviroTrack context-definition language of
+// Section 4 and Appendix A: a lexer, parser, AST, semantic compiler that
+// produces core.ContextType specifications against registries of sensing
+// and aggregation functions, and a Go code generator (the analogue of the
+// paper's NesC-emitting preprocessor).
+//
+// The concrete syntax follows Figure 2:
+//
+//	begin context tracker
+//	    activation: magnetic_sensor_reading()
+//	    location : avg(position) confidence=2, freshness=1s
+//	    begin object reporter
+//	        invocation: TIMER(5s)
+//	        report_function() {
+//	            send(pursuer, self:label, location);
+//	        }
+//	    end
+//	end context
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	IDENT
+	NUMBER   // 42, 3.5
+	DURATION // 5s, 250ms
+	STRING   // "text"
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	COLON  // :
+	SEMI   // ;
+	COMMA  // ,
+	ASSIGN // =
+
+	GT // >
+	LT // <
+	GE // >=
+	LE // <=
+	EQ // ==
+	NE // !=
+
+	// Keywords.
+	KWBEGIN
+	KWEND
+	KWCONTEXT
+	KWOBJECT
+	KWACTIVATION
+	KWDEACTIVATION
+	KWINVOCATION
+	KWAND
+	KWOR
+	KWNOT
+	KWSELF
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of file"
+	case IDENT:
+		return "identifier"
+	case NUMBER:
+		return "number"
+	case DURATION:
+		return "duration"
+	case STRING:
+		return "string"
+	case LPAREN:
+		return "'('"
+	case RPAREN:
+		return "')'"
+	case LBRACE:
+		return "'{'"
+	case RBRACE:
+		return "'}'"
+	case COLON:
+		return "':'"
+	case SEMI:
+		return "';'"
+	case COMMA:
+		return "','"
+	case ASSIGN:
+		return "'='"
+	case GT:
+		return "'>'"
+	case LT:
+		return "'<'"
+	case GE:
+		return "'>='"
+	case LE:
+		return "'<='"
+	case EQ:
+		return "'=='"
+	case NE:
+		return "'!='"
+	case KWBEGIN:
+		return "'begin'"
+	case KWEND:
+		return "'end'"
+	case KWCONTEXT:
+		return "'context'"
+	case KWOBJECT:
+		return "'object'"
+	case KWACTIVATION:
+		return "'activation'"
+	case KWDEACTIVATION:
+		return "'deactivation'"
+	case KWINVOCATION:
+		return "'invocation'"
+	case KWAND:
+		return "'and'"
+	case KWOR:
+		return "'or'"
+	case KWNOT:
+		return "'not'"
+	case KWSELF:
+		return "'self'"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string {
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+var keywords = map[string]Kind{
+	"begin":        KWBEGIN,
+	"end":          KWEND,
+	"context":      KWCONTEXT,
+	"object":       KWOBJECT,
+	"activation":   KWACTIVATION,
+	"deactivation": KWDEACTIVATION,
+	"invocation":   KWINVOCATION,
+	"and":          KWAND,
+	"or":           KWOR,
+	"not":          KWNOT,
+	"self":         KWSELF,
+}
+
+// SyntaxError is a lexing or parsing failure with its location.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,245 @@
+// Package mote models a sensor node: a stationary device with a radio, a
+// sensing suite sampled periodically, and a constrained CPU that processes
+// received messages from a bounded queue. The CPU model is what produces
+// the paper's Figure 5 breakdown — at very small heartbeat periods, message
+// processing (not channel bandwidth) becomes the bottleneck and tracking
+// performance declines.
+package mote
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/sensor"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+// Config holds the per-mote resource parameters.
+type Config struct {
+	// ServiceTime is the CPU time consumed to process one received frame.
+	// Zero models an infinitely fast CPU.
+	ServiceTime time.Duration
+	// QueueCap bounds the number of frames awaiting processing; arrivals
+	// beyond it are dropped (accounted as overload loss). Zero means
+	// DefaultQueueCap.
+	QueueCap int
+	// SensePeriod is the interval between sensor scans. Zero means
+	// DefaultSensePeriod.
+	SensePeriod time.Duration
+}
+
+// Default resource parameters. The service time approximates a few
+// milliseconds of protocol processing on a 4 MHz MICA-class CPU; the queue
+// capacity matches a small TinyOS task/message queue.
+const (
+	DefaultQueueCap    = 8
+	DefaultSensePeriod = 100 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.SensePeriod <= 0 {
+		c.SensePeriod = DefaultSensePeriod
+	}
+	return c
+}
+
+// FrameHandler consumes a received frame. It returns true when the frame
+// was recognized; dispatch stops at the first handler that consumes it.
+type FrameHandler func(radio.Frame) bool
+
+// SenseListener observes each periodic sensor scan.
+type SenseListener func(sensor.Reading)
+
+// Mote is one simulated sensor node. It is driven by the simulation
+// scheduler and is not safe for concurrent use.
+type Mote struct {
+	id     radio.NodeID
+	pos    geom.Point
+	sched  *simtime.Scheduler
+	medium *radio.Medium
+	field  *phenomena.Field
+	model  *sensor.Model
+	cfg    Config
+	rng    *rand.Rand
+	stats  *trace.Stats
+
+	handlers  []FrameHandler
+	listeners []SenseListener
+
+	// CPU state.
+	busyUntil time.Duration
+	queued    int
+
+	senseTicker *simtime.Ticker
+	started     bool
+	failed      bool
+}
+
+// New registers a mote on the medium at the given position. The sensing
+// model may be nil for a pure relay node.
+func New(
+	id radio.NodeID,
+	pos geom.Point,
+	sched *simtime.Scheduler,
+	medium *radio.Medium,
+	field *phenomena.Field,
+	model *sensor.Model,
+	cfg Config,
+	rng *rand.Rand,
+	stats *trace.Stats,
+) (*Mote, error) {
+	m := &Mote{
+		id:     id,
+		pos:    pos,
+		sched:  sched,
+		medium: medium,
+		field:  field,
+		model:  model,
+		cfg:    cfg.withDefaults(),
+		rng:    rng,
+		stats:  stats,
+	}
+	if err := medium.AddNode(id, pos, m.onFrame); err != nil {
+		return nil, fmt.Errorf("mote %d: %w", id, err)
+	}
+	return m, nil
+}
+
+// ID returns the mote's node id.
+func (m *Mote) ID() radio.NodeID { return m.id }
+
+// Pos returns the mote's position.
+func (m *Mote) Pos() geom.Point { return m.pos }
+
+// Scheduler exposes the simulation scheduler for protocol timers.
+func (m *Mote) Scheduler() *simtime.Scheduler { return m.sched }
+
+// Rand returns the mote's deterministic random source (for jitter).
+func (m *Mote) Rand() *rand.Rand { return m.rng }
+
+// Config returns the mote's resource configuration (defaults applied).
+func (m *Mote) Config() Config { return m.cfg }
+
+// AddFrameHandler appends a frame handler; handlers run in registration
+// order until one consumes the frame.
+func (m *Mote) AddFrameHandler(h FrameHandler) {
+	m.handlers = append(m.handlers, h)
+}
+
+// AddSenseListener appends a listener invoked on every periodic scan.
+func (m *Mote) AddSenseListener(l SenseListener) {
+	m.listeners = append(m.listeners, l)
+}
+
+// Start begins the periodic sensing scan. It is idempotent.
+func (m *Mote) Start() {
+	if m.started || m.model == nil {
+		m.started = true
+		return
+	}
+	m.started = true
+	m.senseTicker = simtime.NewTicker(m.sched, m.cfg.SensePeriod, m.scan)
+}
+
+// Stop halts the sensing scan.
+func (m *Mote) Stop() {
+	if m.senseTicker != nil {
+		m.senseTicker.Stop()
+	}
+	m.started = false
+}
+
+// Fail kills the mote: it stops sensing, processing, and transmitting until
+// Restore is called. Used for fault injection (Figure 5's worst case).
+func (m *Mote) Fail() {
+	m.failed = true
+}
+
+// Restore revives a failed mote.
+func (m *Mote) Restore() {
+	m.failed = false
+}
+
+// Failed reports whether the mote is currently failed.
+func (m *Mote) Failed() bool { return m.failed }
+
+// Sense samples the sensing model immediately and returns the reading.
+// It returns a zero reading when the mote has no sensing model.
+func (m *Mote) Sense() sensor.Reading {
+	if m.model == nil {
+		return sensor.Reading{At: m.sched.Now(), MoteID: int(m.id), Position: m.pos}
+	}
+	return m.model.Sample(m.field, int(m.id), m.pos, m.sched.Now())
+}
+
+// Send transmits a frame from this mote. Failed motes transmit nothing.
+func (m *Mote) Send(kind trace.Kind, dst radio.NodeID, bits int, payload any) {
+	if m.failed {
+		return
+	}
+	m.medium.Send(radio.Frame{Kind: kind, Src: m.id, Dst: dst, Bits: bits, Payload: payload})
+}
+
+// Broadcast transmits a frame to every node in range.
+func (m *Mote) Broadcast(kind trace.Kind, bits int, payload any) {
+	m.Send(kind, radio.Broadcast, bits, payload)
+}
+
+// scan runs one sensing tick.
+func (m *Mote) scan() {
+	if m.failed {
+		return
+	}
+	rd := m.Sense()
+	for _, l := range m.listeners {
+		l(rd)
+	}
+}
+
+// onFrame is the radio reception callback: it feeds the CPU queue.
+func (m *Mote) onFrame(f radio.Frame) {
+	if m.failed {
+		return
+	}
+	if m.cfg.ServiceTime <= 0 {
+		m.dispatch(f)
+		return
+	}
+	if m.queued >= m.cfg.QueueCap {
+		if m.stats != nil {
+			m.stats.RecordLoss(f.Kind, trace.LossOverload)
+		}
+		return
+	}
+	m.queued++
+	now := m.sched.Now()
+	start := now
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	done := start + m.cfg.ServiceTime
+	m.busyUntil = done
+	m.sched.At(done, func() {
+		m.queued--
+		if m.failed {
+			return
+		}
+		m.dispatch(f)
+	})
+}
+
+func (m *Mote) dispatch(f radio.Frame) {
+	for _, h := range m.handlers {
+		if h(f) {
+			return
+		}
+	}
+}

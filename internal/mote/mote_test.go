@@ -1,0 +1,306 @@
+package mote
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/sensor"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+type harness struct {
+	sched  *simtime.Scheduler
+	medium *radio.Medium
+	field  *phenomena.Field
+	stats  *trace.Stats
+	rng    *rand.Rand
+}
+
+func newHarness(t *testing.T, p radio.Params) *harness {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	var stats trace.Stats
+	rng := rand.New(rand.NewSource(1))
+	return &harness{
+		sched:  sched,
+		medium: radio.New(sched, p, rng, &stats),
+		field:  phenomena.NewField(),
+		stats:  &stats,
+		rng:    rng,
+	}
+}
+
+func (h *harness) mote(t *testing.T, id radio.NodeID, pos geom.Point, model *sensor.Model, cfg Config) *Mote {
+	t.Helper()
+	m, err := New(id, pos, h.sched, h.medium, h.field, model, cfg, h.rng, h.stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewDuplicateID(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	if _, err := New(1, geom.Pt(1, 1), h.sched, h.medium, h.field, nil, Config{}, h.rng, h.stats); err == nil {
+		t.Fatal("expected duplicate-id error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	m := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	cfg := m.Config()
+	if cfg.QueueCap != DefaultQueueCap {
+		t.Errorf("QueueCap = %d, want default %d", cfg.QueueCap, DefaultQueueCap)
+	}
+	if cfg.SensePeriod != DefaultSensePeriod {
+		t.Errorf("SensePeriod = %v, want default %v", cfg.SensePeriod, DefaultSensePeriod)
+	}
+}
+
+func TestSendAndDispatch(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	a := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{})
+	var got []string
+	b.AddFrameHandler(func(f radio.Frame) bool {
+		if s, ok := f.Payload.(string); ok && s == "first" {
+			got = append(got, "h1:"+s)
+			return true
+		}
+		return false
+	})
+	b.AddFrameHandler(func(f radio.Frame) bool {
+		got = append(got, "h2:"+f.Payload.(string))
+		return true
+	})
+	a.Send(trace.KindReading, 2, 0, "first")
+	a.Send(trace.KindReading, 2, 0, "second")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "h1:first" || got[1] != "h2:second" {
+		t.Errorf("dispatch order = %v", got)
+	}
+}
+
+func TestBroadcastReachesNeighbors(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 1.5})
+	a := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	received := 0
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{})
+	b.AddFrameHandler(func(radio.Frame) bool { received++; return true })
+	c := h.mote(t, 3, geom.Pt(5, 0), nil, Config{})
+	c.AddFrameHandler(func(radio.Frame) bool { received += 100; return true })
+	a.Broadcast(trace.KindHeartbeat, 0, "hb")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Errorf("received = %d, want 1 (only in-range neighbor)", received)
+	}
+}
+
+func TestCPUServiceDelaysDispatch(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2, BitRate: 1e9})
+	a := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	var at time.Duration
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{ServiceTime: 10 * time.Millisecond})
+	b.AddFrameHandler(func(radio.Frame) bool { at = h.sched.Now(); return true })
+	a.Send(trace.KindReading, 2, 8, "x")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at < 10*time.Millisecond {
+		t.Errorf("dispatch at %v, want >= 10ms service delay", at)
+	}
+}
+
+func TestCPUQueueSerializes(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2, BitRate: 1e9, DisableCollisions: true})
+	a := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	c := h.mote(t, 3, geom.Pt(0, 1), nil, Config{})
+	var times []time.Duration
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{ServiceTime: 10 * time.Millisecond, QueueCap: 10})
+	b.AddFrameHandler(func(radio.Frame) bool { times = append(times, h.sched.Now()); return true })
+	// Two frames from different senders arriving almost simultaneously: the
+	// second is processed only after the first's service completes.
+	a.Send(trace.KindReading, 2, 8, "x")
+	c.Send(trace.KindReading, 2, 8, "y")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("dispatched %d frames, want 2", len(times))
+	}
+	if times[1]-times[0] < 10*time.Millisecond-time.Microsecond {
+		t.Errorf("second dispatch %v after first, want >= service time", times[1]-times[0])
+	}
+}
+
+func TestCPUOverloadDropsFrames(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2, BitRate: 1e9, DisableCollisions: true})
+	senders := make([]*Mote, 5)
+	for i := range senders {
+		senders[i] = h.mote(t, radio.NodeID(10+i), geom.Pt(0, float64(i)*0.1), nil, Config{})
+	}
+	processed := 0
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{ServiceTime: 100 * time.Millisecond, QueueCap: 2})
+	b.AddFrameHandler(func(radio.Frame) bool { processed++; return true })
+	for _, s := range senders {
+		s.Send(trace.KindReading, 2, 8, "x")
+	}
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if processed > 2 {
+		t.Errorf("processed = %d, want <= queue cap 2", processed)
+	}
+	if got := h.stats.Kind(trace.KindReading).LostOverload; got == 0 {
+		t.Error("expected overload losses to be recorded")
+	}
+}
+
+func TestFailedMoteDoesNotSendProcessOrSense(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	a := h.mote(t, 1, geom.Pt(0, 0), nil, Config{})
+	received := 0
+	b := h.mote(t, 2, geom.Pt(1, 0), nil, Config{})
+	b.AddFrameHandler(func(radio.Frame) bool { received++; return true })
+
+	a.Fail()
+	if !a.Failed() {
+		t.Error("Failed() = false after Fail")
+	}
+	a.Send(trace.KindReading, 2, 0, "x")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 {
+		t.Error("failed mote transmitted")
+	}
+
+	// Failed receiver drops frames.
+	b.Fail()
+	a.Restore()
+	a.Send(trace.KindReading, 2, 0, "x")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 {
+		t.Error("failed mote processed a frame")
+	}
+
+	b.Restore()
+	a.Send(trace.KindReading, 2, 0, "x")
+	if err := h.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Error("restored mote did not process")
+	}
+}
+
+func TestSensingScanInvokesListeners(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	h.field.Add(&phenomena.Target{
+		Kind:            "vehicle",
+		Traj:            phenomena.Stationary{At: geom.Pt(0, 0)},
+		SignatureRadius: 1,
+	})
+	model := sensor.VehicleModel("vehicle")
+	m := h.mote(t, 1, geom.Pt(0.5, 0), model, Config{SensePeriod: time.Second})
+	var readings []sensor.Reading
+	m.AddSenseListener(func(rd sensor.Reading) { readings = append(readings, rd) })
+	m.Start()
+	if err := h.sched.RunUntil(3500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 3 {
+		t.Fatalf("scans = %d, want 3", len(readings))
+	}
+	if v, _ := readings[0].Value("magnetic_detect"); v != 1 {
+		t.Errorf("detection = %v, want 1", v)
+	}
+	m.Stop()
+	before := len(readings)
+	if err := h.sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != before {
+		t.Error("scans continued after Stop")
+	}
+}
+
+func TestFailedMoteSkipsScan(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	model := sensor.NewModel()
+	model.SetChannel("x", sensor.ConstantChannel(1))
+	m := h.mote(t, 1, geom.Pt(0, 0), model, Config{SensePeriod: time.Second})
+	scans := 0
+	m.AddSenseListener(func(sensor.Reading) { scans++ })
+	m.Start()
+	m.Fail()
+	if err := h.sched.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if scans != 0 {
+		t.Errorf("failed mote scanned %d times", scans)
+	}
+}
+
+func TestSenseWithoutModel(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	m := h.mote(t, 7, geom.Pt(2, 3), nil, Config{})
+	rd := m.Sense()
+	if rd.MoteID != 7 || rd.Position != geom.Pt(2, 3) {
+		t.Errorf("reading = %+v", rd)
+	}
+	if len(rd.Values) != 0 {
+		t.Errorf("model-less reading has values: %v", rd.Values)
+	}
+	m.Start() // should not panic or schedule a ticker
+	if err := h.sched.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	model := sensor.NewModel()
+	model.SetChannel("x", sensor.ConstantChannel(1))
+	m := h.mote(t, 1, geom.Pt(0, 0), model, Config{SensePeriod: time.Second})
+	scans := 0
+	m.AddSenseListener(func(sensor.Reading) { scans++ })
+	m.Start()
+	m.Start()
+	if err := h.sched.RunUntil(2500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if scans != 2 {
+		t.Errorf("scans = %d, want 2 (double Start must not double-tick)", scans)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	h := newHarness(t, radio.Params{CommRadius: 2})
+	m := h.mote(t, 9, geom.Pt(4, 5), nil, Config{})
+	if m.ID() != 9 {
+		t.Errorf("ID = %v", m.ID())
+	}
+	if m.Pos() != geom.Pt(4, 5) {
+		t.Errorf("Pos = %v", m.Pos())
+	}
+	if m.Scheduler() != h.sched {
+		t.Error("Scheduler mismatch")
+	}
+	if m.Rand() == nil {
+		t.Error("Rand is nil")
+	}
+}

@@ -1,0 +1,229 @@
+// Package phenomena models the tracked entities of the physical
+// environment: vehicles, fires, and other targets moving through the sensor
+// field. Positions are pure functions of virtual time so that the
+// environment is deterministic and needs no events of its own.
+package phenomena
+
+import (
+	"fmt"
+	"time"
+
+	"envirotrack/internal/geom"
+)
+
+// Trajectory yields the position of an entity at a given virtual time.
+type Trajectory interface {
+	// PositionAt returns the entity position at time t.
+	PositionAt(t time.Duration) geom.Point
+	// Done reports whether the entity has reached the end of its path at t
+	// (a stationary or cyclic trajectory is never done).
+	Done(t time.Duration) bool
+}
+
+// Stationary is a trajectory that never moves.
+type Stationary struct {
+	At geom.Point
+}
+
+// PositionAt implements Trajectory.
+func (s Stationary) PositionAt(time.Duration) geom.Point { return s.At }
+
+// Done implements Trajectory.
+func (s Stationary) Done(time.Duration) bool { return false }
+
+// Line moves at constant speed from Start in the given direction, forever.
+// Speed is in grid units per second ("hops per second" in the paper's
+// terminology, since grid spacing is one hop).
+type Line struct {
+	Start geom.Point
+	Dir   geom.Vector // normalized internally
+	Speed float64     // grid units per second
+}
+
+// PositionAt implements Trajectory.
+func (l Line) PositionAt(t time.Duration) geom.Point {
+	d := l.Dir.Unit().Scale(l.Speed * t.Seconds())
+	return l.Start.Add(d)
+}
+
+// Done implements Trajectory.
+func (l Line) Done(time.Duration) bool { return false }
+
+// Waypoints moves at constant speed through an ordered list of points and
+// stops at the final one.
+type Waypoints struct {
+	Points []geom.Point
+	Speed  float64 // grid units per second
+
+	// legs caches cumulative leg start times; built lazily.
+	legs []time.Duration
+}
+
+// NewWaypoints builds a waypoint trajectory. It returns an error for fewer
+// than one point or a non-positive speed.
+func NewWaypoints(pts []geom.Point, speed float64) (*Waypoints, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("phenomena: waypoint trajectory needs at least one point")
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("phenomena: speed must be positive, got %v", speed)
+	}
+	w := &Waypoints{Points: append([]geom.Point(nil), pts...), Speed: speed}
+	w.buildLegs()
+	return w, nil
+}
+
+func (w *Waypoints) buildLegs() {
+	w.legs = make([]time.Duration, len(w.Points))
+	var elapsed time.Duration
+	for i := 1; i < len(w.Points); i++ {
+		d := w.Points[i-1].Dist(w.Points[i])
+		elapsed += time.Duration(d / w.Speed * float64(time.Second))
+		w.legs[i] = elapsed
+	}
+}
+
+// EndTime returns when the final waypoint is reached.
+func (w *Waypoints) EndTime() time.Duration {
+	if len(w.legs) == 0 {
+		w.buildLegs()
+	}
+	return w.legs[len(w.legs)-1]
+}
+
+// PositionAt implements Trajectory.
+func (w *Waypoints) PositionAt(t time.Duration) geom.Point {
+	if len(w.legs) == 0 {
+		w.buildLegs()
+	}
+	if t <= 0 || len(w.Points) == 1 {
+		return w.Points[0]
+	}
+	if t >= w.EndTime() {
+		return w.Points[len(w.Points)-1]
+	}
+	// Find the active leg.
+	for i := 1; i < len(w.Points); i++ {
+		if t < w.legs[i] {
+			legDur := w.legs[i] - w.legs[i-1]
+			frac := float64(t-w.legs[i-1]) / float64(legDur)
+			return w.Points[i-1].Lerp(w.Points[i], frac)
+		}
+	}
+	return w.Points[len(w.Points)-1]
+}
+
+// Done implements Trajectory.
+func (w *Waypoints) Done(t time.Duration) bool {
+	return t >= w.EndTime()
+}
+
+// Target is one tracked entity: a typed phenomenon following a trajectory
+// with a sensory signature.
+type Target struct {
+	// Name identifies the target in traces ("tank-1").
+	Name string
+	// Kind is the phenomenon type sensed by motes ("vehicle", "fire").
+	Kind string
+	// Traj is the target's motion.
+	Traj Trajectory
+	// SignatureRadius is the distance (grid units) within which a sensor
+	// detects the target — the "sensory signature" size of Section 6.2.
+	SignatureRadius float64
+	// Amplitude scales intensity readings (e.g. ferrous mass for magnetic
+	// sensing, heat output for fire). 1 if zero.
+	Amplitude float64
+	// AppearsAt and DisappearsAt bound the target's presence in the field;
+	// DisappearsAt zero means "never disappears".
+	AppearsAt    time.Duration
+	DisappearsAt time.Duration
+}
+
+// Active reports whether the target exists in the field at time t.
+func (tg *Target) Active(t time.Duration) bool {
+	if t < tg.AppearsAt {
+		return false
+	}
+	if tg.DisappearsAt > 0 && t >= tg.DisappearsAt {
+		return false
+	}
+	return true
+}
+
+// PositionAt returns the target position at t.
+func (tg *Target) PositionAt(t time.Duration) geom.Point {
+	return tg.Traj.PositionAt(t)
+}
+
+// amplitude returns the effective amplitude (defaulting to 1).
+func (tg *Target) amplitude() float64 {
+	if tg.Amplitude <= 0 {
+		return 1
+	}
+	return tg.Amplitude
+}
+
+// Field is the collection of targets in the environment.
+type Field struct {
+	targets []*Target
+}
+
+// NewField creates a field with the given targets.
+func NewField(targets ...*Target) *Field {
+	return &Field{targets: append([]*Target(nil), targets...)}
+}
+
+// Add appends a target to the field.
+func (f *Field) Add(tg *Target) {
+	f.targets = append(f.targets, tg)
+}
+
+// Targets returns the targets (shared slice; callers must not mutate).
+func (f *Field) Targets() []*Target {
+	return f.targets
+}
+
+// TargetsOfKind returns the active targets of the given kind at time t.
+func (f *Field) TargetsOfKind(kind string, t time.Duration) []*Target {
+	var out []*Target
+	for _, tg := range f.targets {
+		if tg.Kind == kind && tg.Active(t) {
+			out = append(out, tg)
+		}
+	}
+	return out
+}
+
+// Detections returns the active targets of the given kind within their
+// signature radius of position pos at time t.
+func (f *Field) Detections(kind string, pos geom.Point, t time.Duration) []*Target {
+	var out []*Target
+	for _, tg := range f.targets {
+		if tg.Kind != kind || !tg.Active(t) {
+			continue
+		}
+		if tg.PositionAt(t).Within(pos, tg.SignatureRadius) {
+			out = append(out, tg)
+		}
+	}
+	return out
+}
+
+// Intensity returns the summed sensory intensity of kind-k targets at
+// position pos and time t, using an inverse-cube law (the attenuation of
+// magnetic disturbances cited in Section 6.1). Intensity at distances below
+// 1 grid unit is clamped to the amplitude to avoid singularities.
+func (f *Field) Intensity(kind string, pos geom.Point, t time.Duration) float64 {
+	var total float64
+	for _, tg := range f.targets {
+		if tg.Kind != kind || !tg.Active(t) {
+			continue
+		}
+		d := tg.PositionAt(t).Dist(pos)
+		if d < 1 {
+			d = 1
+		}
+		total += tg.amplitude() / (d * d * d)
+	}
+	return total
+}

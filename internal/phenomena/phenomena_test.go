@@ -1,0 +1,259 @@
+package phenomena
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"envirotrack/internal/geom"
+)
+
+func TestStationary(t *testing.T) {
+	s := Stationary{At: geom.Pt(3, 4)}
+	if got := s.PositionAt(0); got != geom.Pt(3, 4) {
+		t.Errorf("PositionAt(0) = %v", got)
+	}
+	if got := s.PositionAt(time.Hour); got != geom.Pt(3, 4) {
+		t.Errorf("PositionAt(1h) = %v", got)
+	}
+	if s.Done(time.Hour) {
+		t.Error("stationary trajectory should never be done")
+	}
+}
+
+func TestLine(t *testing.T) {
+	l := Line{Start: geom.Pt(0, 0.5), Dir: geom.Vec(1, 0), Speed: 0.1}
+	got := l.PositionAt(10 * time.Second)
+	if math.Abs(got.X-1) > 1e-9 || math.Abs(got.Y-0.5) > 1e-9 {
+		t.Errorf("PositionAt(10s) = %v, want (1, 0.5)", got)
+	}
+	if l.Done(time.Hour) {
+		t.Error("line is never done")
+	}
+}
+
+func TestLineNormalizesDirection(t *testing.T) {
+	l := Line{Start: geom.Pt(0, 0), Dir: geom.Vec(10, 0), Speed: 1}
+	got := l.PositionAt(time.Second)
+	if math.Abs(got.X-1) > 1e-9 {
+		t.Errorf("direction not normalized: PositionAt(1s) = %v", got)
+	}
+}
+
+func TestNewWaypointsValidation(t *testing.T) {
+	if _, err := NewWaypoints(nil, 1); err == nil {
+		t.Error("expected error for empty waypoint list")
+	}
+	if _, err := NewWaypoints([]geom.Point{geom.Pt(0, 0)}, 0); err == nil {
+		t.Error("expected error for zero speed")
+	}
+	if _, err := NewWaypoints([]geom.Point{geom.Pt(0, 0)}, -1); err == nil {
+		t.Error("expected error for negative speed")
+	}
+}
+
+func TestWaypointsInterpolation(t *testing.T) {
+	w, err := NewWaypoints([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 5)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PositionAt(0); got != geom.Pt(0, 0) {
+		t.Errorf("PositionAt(0) = %v", got)
+	}
+	got := w.PositionAt(5 * time.Second)
+	if math.Abs(got.X-5) > 1e-9 || math.Abs(got.Y) > 1e-9 {
+		t.Errorf("PositionAt(5s) = %v, want (5,0)", got)
+	}
+	got = w.PositionAt(12 * time.Second)
+	if math.Abs(got.X-10) > 1e-9 || math.Abs(got.Y-2) > 1e-9 {
+		t.Errorf("PositionAt(12s) = %v, want (10,2)", got)
+	}
+	if w.EndTime() != 15*time.Second {
+		t.Errorf("EndTime = %v, want 15s", w.EndTime())
+	}
+	if got := w.PositionAt(time.Hour); got != geom.Pt(10, 5) {
+		t.Errorf("PositionAt beyond end = %v, want final point", got)
+	}
+	if w.Done(10 * time.Second) {
+		t.Error("Done too early")
+	}
+	if !w.Done(15 * time.Second) {
+		t.Error("not Done at end time")
+	}
+}
+
+func TestWaypointsSinglePoint(t *testing.T) {
+	w, err := NewWaypoints([]geom.Point{geom.Pt(2, 2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PositionAt(time.Minute); got != geom.Pt(2, 2) {
+		t.Errorf("single waypoint PositionAt = %v", got)
+	}
+	if !w.Done(0) {
+		t.Error("single waypoint should be done immediately")
+	}
+}
+
+// Property: a waypoint target's speed between consecutive samples never
+// exceeds the configured speed (within tolerance).
+func TestWaypointsSpeedBound(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 3), geom.Pt(1, 7), geom.Pt(9, 9)}
+		const speed = 2.0
+		w, err := NewWaypoints(pts, speed)
+		if err != nil {
+			return false
+		}
+		dt := 100 * time.Millisecond
+		prev := w.PositionAt(0)
+		for ti := dt; ti < w.EndTime()+time.Second; ti += dt {
+			cur := w.PositionAt(ti)
+			if prev.Dist(cur) > speed*dt.Seconds()+1e-6 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTargetActiveWindow(t *testing.T) {
+	tg := &Target{
+		Name:         "t",
+		Kind:         "vehicle",
+		Traj:         Stationary{At: geom.Pt(0, 0)},
+		AppearsAt:    time.Second,
+		DisappearsAt: 3 * time.Second,
+	}
+	tests := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Second, true},
+		{2 * time.Second, true},
+		{3 * time.Second, false},
+		{time.Minute, false},
+	}
+	for _, tt := range tests {
+		if got := tg.Active(tt.at); got != tt.want {
+			t.Errorf("Active(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestTargetAlwaysActiveByDefault(t *testing.T) {
+	tg := &Target{Traj: Stationary{}}
+	if !tg.Active(0) || !tg.Active(time.Hour) {
+		t.Error("default target should always be active")
+	}
+}
+
+func TestFieldDetections(t *testing.T) {
+	tank := &Target{
+		Name:            "tank",
+		Kind:            "vehicle",
+		Traj:            Line{Start: geom.Pt(0, 0), Dir: geom.Vec(1, 0), Speed: 1},
+		SignatureRadius: 1,
+	}
+	fire := &Target{
+		Name:            "fire",
+		Kind:            "fire",
+		Traj:            Stationary{At: geom.Pt(5, 5)},
+		SignatureRadius: 2,
+	}
+	f := NewField(tank, fire)
+
+	// At t=0 the tank is at (0,0): a sensor at (0.5, 0) detects it.
+	dets := f.Detections("vehicle", geom.Pt(0.5, 0), 0)
+	if len(dets) != 1 || dets[0] != tank {
+		t.Errorf("Detections = %v, want tank", dets)
+	}
+	// The fire sensor sees nothing of kind vehicle.
+	if dets := f.Detections("vehicle", geom.Pt(5, 5), 0); len(dets) != 0 {
+		t.Errorf("unexpected vehicle detection at fire location: %v", dets)
+	}
+	// After 10 s the tank has moved to (10, 0).
+	if dets := f.Detections("vehicle", geom.Pt(0.5, 0), 10*time.Second); len(dets) != 0 {
+		t.Errorf("tank should be out of range after moving: %v", dets)
+	}
+	if dets := f.Detections("vehicle", geom.Pt(10.5, 0), 10*time.Second); len(dets) != 1 {
+		t.Errorf("tank should be detected at new position: %v", dets)
+	}
+	// Fire detection within its larger signature.
+	if dets := f.Detections("fire", geom.Pt(6.5, 5), 0); len(dets) != 1 {
+		t.Errorf("fire not detected: %v", dets)
+	}
+}
+
+func TestFieldTargetsOfKind(t *testing.T) {
+	a := &Target{Kind: "x", Traj: Stationary{}}
+	b := &Target{Kind: "x", Traj: Stationary{}, AppearsAt: time.Minute}
+	c := &Target{Kind: "y", Traj: Stationary{}}
+	f := NewField(a, b, c)
+	got := f.TargetsOfKind("x", 0)
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("TargetsOfKind(x, 0) = %v, want [a]", got)
+	}
+	got = f.TargetsOfKind("x", 2*time.Minute)
+	if len(got) != 2 {
+		t.Errorf("TargetsOfKind(x, 2m) = %d targets, want 2", len(got))
+	}
+}
+
+func TestFieldAdd(t *testing.T) {
+	f := NewField()
+	if len(f.Targets()) != 0 {
+		t.Fatal("new empty field has targets")
+	}
+	f.Add(&Target{Kind: "x", Traj: Stationary{}})
+	if len(f.Targets()) != 1 {
+		t.Error("Add did not append")
+	}
+}
+
+func TestIntensityInverseCube(t *testing.T) {
+	tg := &Target{Kind: "vehicle", Traj: Stationary{At: geom.Pt(0, 0)}, Amplitude: 8}
+	f := NewField(tg)
+	// At distance 2: 8/8 = 1.
+	if got := f.Intensity("vehicle", geom.Pt(2, 0), 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Intensity at d=2 = %v, want 1", got)
+	}
+	// Distance below 1 clamps to amplitude.
+	if got := f.Intensity("vehicle", geom.Pt(0.1, 0), 0); math.Abs(got-8) > 1e-9 {
+		t.Errorf("Intensity at d<1 = %v, want 8 (clamped)", got)
+	}
+	// Wrong kind contributes nothing.
+	if got := f.Intensity("fire", geom.Pt(2, 0), 0); got != 0 {
+		t.Errorf("Intensity for absent kind = %v, want 0", got)
+	}
+}
+
+func TestIntensityMonotoneDecreasing(t *testing.T) {
+	tg := &Target{Kind: "v", Traj: Stationary{At: geom.Pt(0, 0)}}
+	f := NewField(tg)
+	prev := math.Inf(1)
+	for d := 1.0; d < 20; d += 0.5 {
+		cur := f.Intensity("v", geom.Pt(d, 0), 0)
+		if cur > prev {
+			t.Fatalf("intensity increased with distance at d=%v", d)
+		}
+		prev = cur
+	}
+}
+
+func TestIntensitySumsMultipleTargets(t *testing.T) {
+	a := &Target{Kind: "v", Traj: Stationary{At: geom.Pt(-2, 0)}}
+	b := &Target{Kind: "v", Traj: Stationary{At: geom.Pt(2, 0)}}
+	f := NewField(a, b)
+	got := f.Intensity("v", geom.Pt(0, 0), 0)
+	want := 2.0 / 8.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("summed intensity = %v, want %v", got, want)
+	}
+}

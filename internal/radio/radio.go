@@ -1,0 +1,367 @@
+// Package radio simulates the shared wireless medium of a mote network: a
+// disk-connectivity broadcast channel with finite bit rate (50 kb/s for MICA
+// motes), propagation delay, iid channel loss, and receiver-side collision
+// corruption. There is no MAC-layer reliability, matching the paper's
+// observation that "no reliability is implemented in the MAC layer of the
+// MICA motes"; collisions therefore grow with offered traffic.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+// NodeID identifies a mote on the medium.
+type NodeID int
+
+// Broadcast is the destination address for frames intended for every node
+// in communication range.
+const Broadcast NodeID = -1
+
+// DefaultBitRate is the MICA mote channel capacity in bits per second.
+const DefaultBitRate = 50_000.0
+
+// DefaultFrameBits approximates a small TinyOS active message (36-byte
+// frame) on the air.
+const DefaultFrameBits = 36 * 8
+
+// Frame is one transmission. Payload is an opaque protocol message owned by
+// the upper layers.
+type Frame struct {
+	Kind    trace.Kind
+	Src     NodeID
+	Dst     NodeID // Broadcast or a specific node
+	Bits    int    // size on the air; DefaultFrameBits if zero
+	Payload any
+}
+
+// Params configures the medium.
+type Params struct {
+	// CommRadius is the communication radius in grid units.
+	CommRadius float64
+	// BitRate is the channel capacity in bits/second (DefaultBitRate if 0).
+	BitRate float64
+	// PropDelay is the fixed propagation + modem turnaround delay added to
+	// each frame's airtime.
+	PropDelay time.Duration
+	// LossProb is the iid per-receiver frame loss probability in [0,1].
+	LossProb float64
+	// DisableCollisions turns off the receiver-side collision model.
+	DisableCollisions bool
+	// DisableCSMA turns off carrier sensing: senders then transmit
+	// immediately even when the channel around them is busy. The MICA
+	// radio stack carrier-senses (it lacks MAC *reliability*, not CSMA),
+	// so CSMA is on by default; hidden terminals still collide.
+	DisableCSMA bool
+	// CSMASlot is the carrier-sense backoff slot (default 1ms).
+	CSMASlot time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.BitRate <= 0 {
+		p.BitRate = DefaultBitRate
+	}
+	if p.CSMASlot <= 0 {
+		p.CSMASlot = time.Millisecond
+	}
+	return p
+}
+
+// maxCSMAAttempts bounds carrier-sense deferrals; after that the frame is
+// transmitted regardless (bounded latency, like a saturated CSMA MAC).
+const maxCSMAAttempts = 6
+
+// Receiver is the callback invoked on successful frame reception. It runs
+// on the scheduler thread at the frame's arrival time.
+type Receiver func(Frame)
+
+// Medium is the shared channel. It is driven entirely by the simulation
+// scheduler and is not safe for concurrent use.
+type Medium struct {
+	sched  *simtime.Scheduler
+	params Params
+	rng    *rand.Rand
+	stats  *trace.Stats
+
+	nodes     map[NodeID]*nodeState
+	order     []NodeID // deterministic iteration order
+	neighbors map[NodeID][]NodeID
+}
+
+type nodeState struct {
+	id   NodeID
+	pos  geom.Point
+	recv Receiver
+	// txBusyUntil serializes a node's own transmissions: a mote has one
+	// radio and cannot transmit two frames at once.
+	txBusyUntil time.Duration
+	// rx tracks in-flight receptions for collision detection.
+	rx []*reception
+}
+
+type reception struct {
+	start     time.Duration
+	end       time.Duration
+	corrupted bool
+}
+
+// transmission tracks whether any receiver got a copy, for the paper's
+// "sent but never received on any other mote" loss metric.
+type transmission struct {
+	delivered int
+}
+
+// New creates a medium on the given scheduler. rng must not be nil; stats
+// may be nil to disable accounting.
+func New(s *simtime.Scheduler, p Params, rng *rand.Rand, stats *trace.Stats) *Medium {
+	return &Medium{
+		sched:  s,
+		params: p.withDefaults(),
+		rng:    rng,
+		stats:  stats,
+		nodes:  make(map[NodeID]*nodeState),
+	}
+}
+
+// Params returns the medium configuration (with defaults applied).
+func (m *Medium) Params() Params {
+	return m.params
+}
+
+// AddNode registers a stationary node. It returns an error if the id is
+// already present.
+func (m *Medium) AddNode(id NodeID, pos geom.Point, recv Receiver) error {
+	if _, ok := m.nodes[id]; ok {
+		return fmt.Errorf("radio: node %d already registered", id)
+	}
+	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
+	m.order = append(m.order, id)
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+	m.neighbors = nil // invalidate cache
+	return nil
+}
+
+// Position returns a node's location.
+func (m *Medium) Position(id NodeID) (geom.Point, bool) {
+	n, ok := m.nodes[id]
+	if !ok {
+		return geom.Point{}, false
+	}
+	return n.pos, true
+}
+
+// NodeIDs returns all registered node ids in ascending order.
+func (m *Medium) NodeIDs() []NodeID {
+	out := make([]NodeID, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Neighbors returns the nodes within communication radius of id, in
+// ascending id order. Results are cached (topology is static).
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	if m.neighbors == nil {
+		m.neighbors = make(map[NodeID][]NodeID, len(m.nodes))
+	}
+	if nb, ok := m.neighbors[id]; ok {
+		return nb
+	}
+	n, ok := m.nodes[id]
+	if !ok {
+		return nil
+	}
+	var nb []NodeID
+	for _, other := range m.order {
+		if other == id {
+			continue
+		}
+		if m.nodes[other].pos.Within(n.pos, m.params.CommRadius) {
+			nb = append(nb, other)
+		}
+	}
+	m.neighbors[id] = nb
+	return nb
+}
+
+// NodesNear returns node ids within radius r of point p, ascending.
+func (m *Medium) NodesNear(p geom.Point, r float64) []NodeID {
+	var out []NodeID
+	for _, id := range m.order {
+		if m.nodes[id].pos.Within(p, r) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// InRange reports whether b is within communication radius of a.
+func (m *Medium) InRange(a, b NodeID) bool {
+	na, ok := m.nodes[a]
+	if !ok {
+		return false
+	}
+	nb, ok := m.nodes[b]
+	if !ok {
+		return false
+	}
+	return na.pos.Within(nb.pos, m.params.CommRadius)
+}
+
+// Airtime returns the channel occupancy of a frame of the given size.
+func (m *Medium) Airtime(bits int) time.Duration {
+	if bits <= 0 {
+		bits = DefaultFrameBits
+	}
+	return time.Duration(float64(bits) / m.params.BitRate * float64(time.Second))
+}
+
+// Send transmits a frame from f.Src. The sender carrier-senses first:
+// while the channel around it is busy (its own transmission or an audible
+// reception in progress) the frame is deferred with random backoff, up to
+// maxCSMAAttempts times. Delivery to in-range receivers happens after
+// airtime plus propagation delay, subject to loss and collisions (hidden
+// terminals still collide). Sending from an unregistered node is a no-op.
+func (m *Medium) Send(f Frame) {
+	m.trySend(f, 0)
+}
+
+// channelBusyUntil returns when the medium around the node goes idle: the
+// latest end among audible in-flight receptions and its own transmission.
+func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
+	now := m.sched.Now()
+	busy := time.Duration(0)
+	if n.txBusyUntil > now {
+		busy = n.txBusyUntil
+	}
+	kept := n.rx[:0]
+	for _, r := range n.rx {
+		if r.end <= now {
+			continue
+		}
+		kept = append(kept, r)
+		if r.start <= now && r.end > busy {
+			busy = r.end
+		}
+	}
+	n.rx = kept
+	return busy
+}
+
+func (m *Medium) trySend(f Frame, attempt int) {
+	src, ok := m.nodes[f.Src]
+	if !ok {
+		return
+	}
+	if f.Bits <= 0 {
+		f.Bits = DefaultFrameBits
+	}
+
+	now := m.sched.Now()
+	if !m.params.DisableCSMA && attempt < maxCSMAAttempts {
+		if busyUntil := m.channelBusyUntil(src); busyUntil > now {
+			backoff := time.Duration(m.rng.Float64() * float64(m.params.CSMASlot) * float64(uint(1)<<uint(min(attempt, 4))))
+			m.sched.At(busyUntil+backoff, func() { m.trySend(f, attempt+1) })
+			return
+		}
+	}
+
+	start := now
+	if src.txBusyUntil > start {
+		start = src.txBusyUntil
+	}
+	airtime := m.Airtime(f.Bits)
+	end := start + airtime
+	src.txBusyUntil = end
+
+	if m.stats != nil {
+		m.stats.RecordSend(f.Kind, f.Bits)
+	}
+
+	tx := &transmission{}
+	intended := 0
+	for _, id := range m.order {
+		if id == f.Src {
+			continue
+		}
+		dst := m.nodes[id]
+		if !dst.pos.Within(src.pos, m.params.CommRadius) {
+			continue
+		}
+		isTarget := f.Dst == Broadcast || f.Dst == id
+		if isTarget {
+			intended++
+		}
+		m.scheduleReception(dst, f, tx, start, end, isTarget)
+	}
+	if intended == 0 {
+		// Nobody could ever receive it: record immediately.
+		if m.stats != nil {
+			m.stats.RecordUndelivered(f.Kind)
+		}
+		return
+	}
+	// After the last possible delivery, check whether anyone got it.
+	m.sched.At(end+m.params.PropDelay, func() {
+		if tx.delivered == 0 && m.stats != nil {
+			m.stats.RecordUndelivered(f.Kind)
+		}
+	})
+}
+
+// scheduleReception models the frame occupying the channel at the receiver
+// during [start, end] and delivers it at end+PropDelay unless corrupted.
+// Non-target receivers still experience channel occupancy (their concurrent
+// receptions collide) but do not receive or account the frame.
+func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, start, end time.Duration, isTarget bool) {
+	rx := &reception{start: start, end: end}
+
+	if !m.params.DisableCollisions {
+		// Corrupt any overlapping in-flight receptions, and this one.
+		kept := dst.rx[:0]
+		for _, other := range dst.rx {
+			if other.end > m.sched.Now() || other.end >= start {
+				kept = append(kept, other)
+			}
+		}
+		dst.rx = kept
+		for _, other := range dst.rx {
+			if other.start < end && start < other.end {
+				other.corrupted = true
+				rx.corrupted = true
+			}
+		}
+	}
+	dst.rx = append(dst.rx, rx)
+
+	if !isTarget {
+		return
+	}
+
+	lost := m.rng.Float64() < m.params.LossProb
+	m.sched.At(end+m.params.PropDelay, func() {
+		switch {
+		case rx.corrupted:
+			if m.stats != nil {
+				m.stats.RecordLoss(f.Kind, trace.LossCollision)
+			}
+		case lost:
+			if m.stats != nil {
+				m.stats.RecordLoss(f.Kind, trace.LossRandom)
+			}
+		default:
+			tx.delivered++
+			if m.stats != nil {
+				m.stats.RecordReceive(f.Kind)
+			}
+			if dst.recv != nil {
+				dst.recv(f)
+			}
+		}
+	})
+}

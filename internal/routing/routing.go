@@ -1,0 +1,197 @@
+// Package routing implements the location-aware, multi-hop unicast layer
+// the paper assumes ("we assume that network nodes and routing are
+// location-aware"): greedy geographic forwarding. Each message carries a
+// destination coordinate (and optionally a specific destination node); every
+// hop forwards to the neighbor strictly closest to the destination. A node
+// that is a local minimum — no neighbor closer than itself — is "within one
+// hop of the coordinate" and delivers the message locally, which is exactly
+// the anycast the directory service needs.
+package routing
+
+import (
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/trace"
+)
+
+// AnyNode addresses a message to whichever node is nearest the destination
+// coordinate (geographic anycast).
+const AnyNode radio.NodeID = -1
+
+// DefaultTTL bounds the hop count of a routed message.
+const DefaultTTL = 64
+
+// Message is a routed payload.
+type Message struct {
+	Kind trace.Kind
+	// Dest is the destination coordinate.
+	Dest geom.Point
+	// DestNode restricts delivery to a specific node; AnyNode delivers at
+	// the node nearest Dest.
+	DestNode radio.NodeID
+	// TTL bounds hops; DefaultTTL if zero.
+	TTL  int
+	Bits int
+	// Payload is the upper-layer message.
+	Payload any
+}
+
+// envelope is the on-air representation.
+type envelope struct {
+	Msg  Message
+	Hops int
+}
+
+// DeliverFunc receives messages that terminate at this node.
+type DeliverFunc func(Message)
+
+// Handler consumes a delivered message; it returns true when the message
+// was recognized, stopping the handler chain.
+type Handler func(Message) bool
+
+// Router provides greedy geographic forwarding on one mote.
+type Router struct {
+	m        *mote.Mote
+	medium   *radio.Medium
+	handlers []Handler
+	// Drops counts messages this node discarded (TTL exhausted or a
+	// dead-end toward a specific node).
+	Drops uint64
+	// Forwards counts messages this node relayed.
+	Forwards uint64
+}
+
+// NewRouter attaches a router to the mote. Delivery consumers are added
+// with AddHandler or SetDeliver.
+func NewRouter(m *mote.Mote, medium *radio.Medium) *Router {
+	r := &Router{m: m, medium: medium}
+	m.AddFrameHandler(r.handleFrame)
+	return r
+}
+
+// AddHandler appends a delivery handler; handlers run in registration
+// order until one consumes the message.
+func (r *Router) AddHandler(h Handler) {
+	r.handlers = append(r.handlers, h)
+}
+
+// SetDeliver installs a catch-all delivery callback (a handler that
+// consumes every message).
+func (r *Router) SetDeliver(fn DeliverFunc) {
+	r.AddHandler(func(m Message) bool {
+		fn(m)
+		return true
+	})
+}
+
+// Send routes a message from this node. If this node is itself the
+// destination the message is delivered locally (after a zero-delay hop
+// through the scheduler to keep delivery asynchronous).
+func (r *Router) Send(msg Message) {
+	if msg.TTL <= 0 {
+		msg.TTL = DefaultTTL
+	}
+	env := envelope{Msg: msg}
+	if r.isDestination(msg) {
+		r.m.Scheduler().After(0, func() { r.deliverLocal(msg) })
+		return
+	}
+	r.forward(env)
+}
+
+// isDestination reports whether this node terminates the message.
+func (r *Router) isDestination(msg Message) bool {
+	if msg.DestNode != AnyNode {
+		return msg.DestNode == r.m.ID()
+	}
+	// Anycast: terminate when no neighbor is closer to the coordinate.
+	_, ok := r.nextHop(msg)
+	return !ok
+}
+
+// nextHop picks the neighbor strictly closest to the destination (closer
+// than this node), breaking ties by id.
+func (r *Router) nextHop(msg Message) (radio.NodeID, bool) {
+	self := r.m.Pos().Dist2(msg.Dest)
+	best := radio.NodeID(-1)
+	bestD := self
+	for _, nb := range r.medium.Neighbors(r.m.ID()) {
+		pos, ok := r.medium.Position(nb)
+		if !ok {
+			continue
+		}
+		d := pos.Dist2(msg.Dest)
+		if d < bestD || (d == bestD && best >= 0 && nb < best) {
+			if d < self {
+				best, bestD = nb, d
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (r *Router) forward(env envelope) {
+	msg := env.Msg
+	// A specific destination that happens to be a direct neighbor is sent
+	// to directly, even if it is not geographically closer.
+	if msg.DestNode != AnyNode && r.medium.InRange(r.m.ID(), msg.DestNode) {
+		r.transmit(msg.DestNode, env)
+		return
+	}
+	next, ok := r.nextHop(msg)
+	if !ok {
+		r.Drops++
+		return
+	}
+	r.transmit(next, env)
+}
+
+func (r *Router) transmit(to radio.NodeID, env envelope) {
+	env.Hops++
+	r.Forwards++
+	kind := env.Msg.Kind
+	if kind == "" {
+		kind = trace.KindTransport
+	}
+	r.m.Send(kind, to, env.Msg.Bits, env)
+}
+
+func (r *Router) handleFrame(f radio.Frame) bool {
+	env, ok := f.Payload.(envelope)
+	if !ok {
+		return false
+	}
+	msg := env.Msg
+	if r.isDestination(msg) {
+		r.deliverLocal(msg)
+		return true
+	}
+	if env.Hops >= msg.TTL {
+		r.Drops++
+		return true
+	}
+	r.forward(env)
+	return true
+}
+
+func (r *Router) deliverLocal(msg Message) {
+	for _, h := range r.handlers {
+		if h(msg) {
+			return
+		}
+	}
+}
+
+// RouteDelay estimates the time for a message to traverse the distance
+// between two points given the medium parameters; used by tests and for
+// coarse planning. It assumes one airtime per communication radius hop.
+func RouteDelay(m *radio.Medium, from, to geom.Point, bits int) time.Duration {
+	hops := int(from.Dist(to)/m.Params().CommRadius) + 1
+	return time.Duration(hops) * (m.Airtime(bits) + m.Params().PropDelay)
+}

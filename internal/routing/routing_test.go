@@ -1,0 +1,283 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+type net struct {
+	sched   *simtime.Scheduler
+	medium  *radio.Medium
+	routers map[radio.NodeID]*Router
+	rng     *rand.Rand
+}
+
+func newNet(t *testing.T, commRadius float64) *net {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	var stats trace.Stats
+	rng := rand.New(rand.NewSource(3))
+	return &net{
+		sched:   sched,
+		medium:  radio.New(sched, radio.Params{CommRadius: commRadius}, rng, &stats),
+		routers: make(map[radio.NodeID]*Router),
+		rng:     rng,
+	}
+}
+
+func (n *net) add(t *testing.T, id radio.NodeID, pos geom.Point) *Router {
+	t.Helper()
+	m, err := mote.New(id, pos, n.sched, n.medium, phenomena.NewField(), nil, mote.Config{}, n.rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(m, n.medium)
+	n.routers[id] = r
+	return r
+}
+
+// grid builds a cols x rows unit grid with ids cols*y + x.
+func (n *net) grid(t *testing.T, cols, rows int) {
+	t.Helper()
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			n.add(t, radio.NodeID(y*cols+x), geom.Pt(float64(x), float64(y)))
+		}
+	}
+}
+
+func TestMultiHopUnicastToSpecificNode(t *testing.T) {
+	n := newNet(t, 1.2)
+	n.grid(t, 6, 1) // a line: 0..5
+	var got []any
+	n.routers[5].SetDeliver(func(m Message) { got = append(got, m.Payload) })
+	n.routers[0].Send(Message{Dest: geom.Pt(5, 0), DestNode: 5, Payload: "hello"})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("delivered = %v, want [hello]", got)
+	}
+}
+
+func TestAnycastDeliversAtNearestNode(t *testing.T) {
+	n := newNet(t, 1.5)
+	n.grid(t, 5, 5)
+	delivered := make(map[radio.NodeID]int)
+	for id, r := range n.routers {
+		id := id
+		r.SetDeliver(func(Message) { delivered[id]++ })
+	}
+	// Coordinate (3.2, 2.1): nearest node is (3,2) = id 2*5+3 = 13.
+	n.routers[0].Send(Message{Dest: geom.Pt(3.2, 2.1), DestNode: AnyNode, Payload: 1})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 1 || delivered[13] != 1 {
+		t.Fatalf("delivered = %v, want only node 13", delivered)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	n := newNet(t, 1.2)
+	n.grid(t, 3, 1)
+	got := 0
+	n.routers[1].SetDeliver(func(Message) { got++ })
+	n.routers[1].Send(Message{Dest: geom.Pt(1, 0), DestNode: 1, Payload: "self"})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("self delivery count = %d, want 1", got)
+	}
+}
+
+func TestAnycastSelfWhenAlreadyNearest(t *testing.T) {
+	n := newNet(t, 1.2)
+	n.grid(t, 3, 1)
+	got := 0
+	n.routers[2].SetDeliver(func(Message) { got++ })
+	n.routers[2].Send(Message{Dest: geom.Pt(2.1, 0), DestNode: AnyNode})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("anycast self delivery = %d, want 1", got)
+	}
+}
+
+func TestDirectNeighborShortcut(t *testing.T) {
+	// Destination node is a neighbor but geographically *farther* from the
+	// message coordinate than the sender: direct send must still work.
+	n := newNet(t, 2)
+	n.add(t, 0, geom.Pt(0, 0))
+	n.add(t, 1, geom.Pt(1.5, 0))
+	got := 0
+	n.routers[1].SetDeliver(func(Message) { got++ })
+	// Dest coordinate equals sender's position; DestNode is node 1.
+	n.routers[0].Send(Message{Dest: geom.Pt(0, 0), DestNode: 1})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("neighbor shortcut delivery = %d, want 1", got)
+	}
+}
+
+func TestDeadEndDropsTowardSpecificNode(t *testing.T) {
+	// Two disconnected islands: message toward a node on the other island
+	// is dropped, not delivered.
+	n := newNet(t, 1.2)
+	n.add(t, 0, geom.Pt(0, 0))
+	n.add(t, 1, geom.Pt(1, 0))
+	n.add(t, 9, geom.Pt(10, 0))
+	got := 0
+	n.routers[9].SetDeliver(func(Message) { got++ })
+	n.routers[0].Send(Message{Dest: geom.Pt(10, 0), DestNode: 9})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Error("message crossed a partition")
+	}
+	if n.routers[1].Drops == 0 && n.routers[0].Drops == 0 {
+		t.Error("no drop recorded at the dead end")
+	}
+}
+
+func TestTTLExhaustionDrops(t *testing.T) {
+	n := newNet(t, 1.2)
+	n.grid(t, 10, 1)
+	got := 0
+	n.routers[9].SetDeliver(func(Message) { got++ })
+	n.routers[0].Send(Message{Dest: geom.Pt(9, 0), DestNode: 9, TTL: 3})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Error("message exceeded its TTL yet was delivered")
+	}
+}
+
+func TestGreedyPathLengthIsReasonable(t *testing.T) {
+	n := newNet(t, 1.5)
+	n.grid(t, 8, 8)
+	done := false
+	n.routers[63].SetDeliver(func(Message) { done = true })
+	n.routers[0].Send(Message{Dest: geom.Pt(7, 7), DestNode: 63})
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("not delivered")
+	}
+	var totalForwards uint64
+	for _, r := range n.routers {
+		totalForwards += r.Forwards
+	}
+	// Straight-line distance ~9.9, comm radius 1.5 (diagonal steps are in
+	// range): expect on the order of 7 hops, certainly <= 14.
+	if totalForwards > 14 {
+		t.Errorf("path used %d forwards, want <= 14", totalForwards)
+	}
+}
+
+func TestUnrelatedFramesIgnored(t *testing.T) {
+	n := newNet(t, 2)
+	n.add(t, 0, geom.Pt(0, 0))
+	m, err := mote.New(1, geom.Pt(1, 0), n.sched, n.medium, phenomena.NewField(), nil, mote.Config{}, n.rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(m, n.medium)
+	got := 0
+	r.SetDeliver(func(Message) { got++ })
+	// A non-envelope frame must pass through untouched.
+	consumed := false
+	m.AddFrameHandler(func(radio.Frame) bool { consumed = true; return true })
+	n.routers[0].m.Send(trace.KindCross, 1, 0, "raw")
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Error("router delivered a non-envelope frame")
+	}
+	if !consumed {
+		t.Error("non-envelope frame was not passed to later handlers")
+	}
+}
+
+func TestRouteDelayPositive(t *testing.T) {
+	n := newNet(t, 2)
+	if d := RouteDelay(n.medium, geom.Pt(0, 0), geom.Pt(10, 0), 100); d <= 0 {
+		t.Errorf("RouteDelay = %v, want > 0", d)
+	}
+	short := RouteDelay(n.medium, geom.Pt(0, 0), geom.Pt(1, 0), 100)
+	long := RouteDelay(n.medium, geom.Pt(0, 0), geom.Pt(20, 0), 100)
+	if long <= short {
+		t.Errorf("RouteDelay not increasing with distance: %v vs %v", short, long)
+	}
+}
+
+func TestDeliveryIsAsynchronousForSelfSend(t *testing.T) {
+	n := newNet(t, 1.2)
+	n.grid(t, 2, 1)
+	delivered := false
+	n.routers[0].SetDeliver(func(Message) { delivered = true })
+	n.routers[0].Send(Message{Dest: geom.Pt(0, 0), DestNode: 0})
+	if delivered {
+		t.Error("self delivery happened synchronously inside Send")
+	}
+	if err := n.sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Error("self delivery never happened")
+	}
+}
+
+// Property-like sweep: from every node in a connected grid, an anycast to a
+// random coordinate terminates at the node nearest that coordinate.
+func TestAnycastAlwaysTerminatesAtNearest(t *testing.T) {
+	n := newNet(t, 1.5)
+	n.grid(t, 6, 6)
+	deliveredAt := radio.NodeID(-1)
+	for id, r := range n.routers {
+		id := id
+		r.SetDeliver(func(Message) { deliveredAt = id })
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		deliveredAt = -1
+		src := radio.NodeID(rng.Intn(36))
+		dest := geom.Pt(rng.Float64()*5, rng.Float64()*5)
+
+		// Find expected nearest node.
+		wantNearest := radio.NodeID(-1)
+		bestD := 1e18
+		for _, id := range n.medium.NodeIDs() {
+			pos, _ := n.medium.Position(id)
+			if d := pos.Dist2(dest); d < bestD {
+				bestD = d
+				wantNearest = id
+			}
+		}
+
+		n.routers[src].Send(Message{Dest: dest, DestNode: AnyNode})
+		if err := n.sched.RunUntil(n.sched.Now() + time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if deliveredAt != wantNearest {
+			t.Fatalf("trial %d: src=%d dest=%v delivered at %d, want %d",
+				trial, src, dest, deliveredAt, wantNearest)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package sensor models the sensing hardware of a mote and the library of
+// named boolean sensing functions (the paper's sensee() conditions) that
+// context activation statements refer to. A mote periodically samples a
+// Model, which derives named scalar channels ("magnetic", "temperature",
+// "light", ...) from the phenomena field, and evaluates predicates over the
+// resulting Reading.
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/phenomena"
+)
+
+// Reading is one sample of a mote's local environment.
+type Reading struct {
+	At       time.Duration
+	MoteID   int
+	Position geom.Point
+	Values   map[string]float64
+}
+
+// Value returns the named channel's sample.
+func (r Reading) Value(name string) (float64, bool) {
+	v, ok := r.Values[name]
+	return v, ok
+}
+
+// ChannelFunc computes a scalar channel value at a position and time from
+// the environment.
+type ChannelFunc func(f *phenomena.Field, pos geom.Point, t time.Duration) float64
+
+// DetectionChannel returns 1 when a kind-k target's signature covers the
+// position and 0 otherwise — the idealized threshold detector used in the
+// paper's testbed.
+func DetectionChannel(kind string) ChannelFunc {
+	return func(f *phenomena.Field, pos geom.Point, t time.Duration) float64 {
+		if len(f.Detections(kind, pos, t)) > 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// IntensityChannel returns the inverse-cube intensity of kind-k targets,
+// scaled by scale (e.g. a magnetometer's gain).
+func IntensityChannel(kind string, scale float64) ChannelFunc {
+	return func(f *phenomena.Field, pos geom.Point, t time.Duration) float64 {
+		return f.Intensity(kind, pos, t) * scale
+	}
+}
+
+// ConstantChannel returns a fixed ambient value (e.g. background
+// temperature).
+func ConstantChannel(v float64) ChannelFunc {
+	return func(*phenomena.Field, geom.Point, time.Duration) float64 { return v }
+}
+
+// SumChannels returns the sum of the given channels.
+func SumChannels(fns ...ChannelFunc) ChannelFunc {
+	return func(f *phenomena.Field, pos geom.Point, t time.Duration) float64 {
+		var total float64
+		for _, fn := range fns {
+			total += fn(f, pos, t)
+		}
+		return total
+	}
+}
+
+// WithNoise adds zero-mean Gaussian noise with the given standard deviation
+// to a channel, drawn from rng.
+func WithNoise(fn ChannelFunc, stddev float64, rng *rand.Rand) ChannelFunc {
+	return func(f *phenomena.Field, pos geom.Point, t time.Duration) float64 {
+		return fn(f, pos, t) + rng.NormFloat64()*stddev
+	}
+}
+
+// Model is a mote's sensing suite: a set of named channels sampled together.
+type Model struct {
+	names    []string
+	channels map[string]ChannelFunc
+}
+
+// NewModel returns an empty sensing model.
+func NewModel() *Model {
+	return &Model{channels: make(map[string]ChannelFunc)}
+}
+
+// SetChannel installs or replaces a named channel.
+func (m *Model) SetChannel(name string, fn ChannelFunc) {
+	if _, ok := m.channels[name]; !ok {
+		m.names = append(m.names, name)
+		sort.Strings(m.names)
+	}
+	m.channels[name] = fn
+}
+
+// Channels returns the channel names in sorted order.
+func (m *Model) Channels() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// Sample evaluates every channel at the given position and time.
+func (m *Model) Sample(f *phenomena.Field, moteID int, pos geom.Point, t time.Duration) Reading {
+	vals := make(map[string]float64, len(m.channels))
+	for name, fn := range m.channels {
+		vals[name] = fn(f, pos, t)
+	}
+	return Reading{At: t, MoteID: moteID, Position: pos, Values: vals}
+}
+
+// VehicleModel is a convenience preset: a magnetometer suite detecting
+// targets of the given phenomenon kind, exposing channels "magnetic"
+// (intensity) and "magnetic_detect" (thresholded detection).
+func VehicleModel(kind string) *Model {
+	m := NewModel()
+	m.SetChannel("magnetic", IntensityChannel(kind, 1))
+	m.SetChannel("magnetic_detect", DetectionChannel(kind))
+	return m
+}
+
+// FireModel is a preset for fire sensing: "temperature" is ambient plus a
+// strong contribution from fire targets; "light" detects flame.
+func FireModel(kind string, ambient float64) *Model {
+	m := NewModel()
+	m.SetChannel("temperature", SumChannels(
+		ConstantChannel(ambient),
+		IntensityChannel(kind, 500),
+	))
+	m.SetChannel("light", DetectionChannel(kind))
+	return m
+}
+
+// Func is a named boolean sensing condition — the sensee() predicate of
+// Section 3.1 — evaluated over a mote's local Reading.
+type Func func(Reading) bool
+
+// Registry maps sensing-function names (as they appear in EnviroTrack
+// activation statements) to implementations. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	funcs map[string]Func
+}
+
+// NewRegistry returns a registry pre-populated with the library of common
+// sensing functions the paper describes:
+//
+//	magnetic_sensor_reading  — magnetic detection channel fired
+//	fire_sensor_reading      — temperature > 180 and light present
+//	light_sensor_reading     — light channel above 0.5
+//	motion_sensor_reading    — motion channel above 0.5
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]Func)}
+	mustRegister := func(name string, fn Func) {
+		if err := r.Register(name, fn); err != nil {
+			panic(err) // unreachable: fresh registry, distinct names
+		}
+	}
+	mustRegister("magnetic_sensor_reading", func(rd Reading) bool {
+		v, ok := rd.Value("magnetic_detect")
+		return ok && v > 0.5
+	})
+	mustRegister("fire_sensor_reading", func(rd Reading) bool {
+		temp, okT := rd.Value("temperature")
+		light, okL := rd.Value("light")
+		return okT && okL && temp > 180 && light > 0.5
+	})
+	mustRegister("light_sensor_reading", func(rd Reading) bool {
+		v, ok := rd.Value("light")
+		return ok && v > 0.5
+	})
+	mustRegister("motion_sensor_reading", func(rd Reading) bool {
+		v, ok := rd.Value("motion")
+		return ok && v > 0.5
+	})
+	return r
+}
+
+// Register adds a user-defined sensing function. It returns an error if the
+// name is already taken.
+func (r *Registry) Register(name string, fn Func) error {
+	if name == "" {
+		return fmt.Errorf("sensor: empty function name")
+	}
+	if fn == nil {
+		return fmt.Errorf("sensor: nil function for %q", name)
+	}
+	if _, ok := r.funcs[name]; ok {
+		return fmt.Errorf("sensor: function %q already registered", name)
+	}
+	r.funcs[name] = fn
+	return nil
+}
+
+// Lookup returns the named sensing function.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// Names returns all registered function names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.funcs))
+	for name := range r.funcs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

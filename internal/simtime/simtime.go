@@ -1,0 +1,259 @@
+// Package simtime implements the discrete-event scheduler that drives the
+// simulated sensor network. All protocol timing (heartbeat periods, receive
+// and wait timers, message airtime, CPU service times) is expressed as
+// events on a single virtual clock, which makes runs deterministic and lets
+// experiments cover minutes of simulated time in milliseconds of wall time.
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by run methods when the scheduler was stopped
+// explicitly via Stop.
+var ErrStopped = errors.New("simtime: scheduler stopped")
+
+// Callback is a function invoked when its event fires. It runs on the
+// scheduler's (single) execution thread.
+type Callback func()
+
+// Timer is a handle to a scheduled event. The zero value is not usable;
+// timers are created by Scheduler.At and Scheduler.After.
+type Timer struct {
+	s     *Scheduler
+	index int // index in the heap, -1 when fired or cancelled
+	at    time.Duration
+	seq   uint64
+	fn    Callback
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending:
+// false means it already fired or was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.index)
+	t.index = -1
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.index >= 0
+}
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() time.Duration {
+	return t.at
+}
+
+// Scheduler is a deterministic discrete-event executor. It is not safe for
+// concurrent use: protocol code runs exclusively inside event callbacks.
+type Scheduler struct {
+	queue   eventQueue
+	now     time.Duration
+	seq     uint64
+	stopped bool
+	// Executed counts events that have fired; useful for sanity checks and
+	// run-length accounting in tests.
+	executed uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration {
+	return s.now
+}
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 {
+	return s.executed
+}
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int {
+	return s.queue.Len()
+}
+
+// At schedules fn to run at absolute virtual time at. Times in the past are
+// clamped to "now" (the event fires on the next step). Events scheduled for
+// the same instant fire in scheduling order.
+func (s *Scheduler) At(at time.Duration, fn Callback) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	t := &Timer{s: s, at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are treated as zero.
+func (s *Scheduler) After(d time.Duration, fn Callback) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	if s.stopped || s.queue.Len() == 0 {
+		return false
+	}
+	t := heap.Pop(&s.queue).(*Timer)
+	t.index = -1
+	s.now = t.at
+	s.executed++
+	t.fn()
+	return true
+}
+
+// RunUntil executes events in order until the clock would pass the deadline
+// or no events remain. On return the clock is set to the deadline (unless
+// stopped earlier), so subsequent After calls measure from the deadline.
+func (s *Scheduler) RunUntil(deadline time.Duration) error {
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.queue.Len() == 0 || s.queue.peek().at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// Run executes events until none remain or the scheduler is stopped.
+func (s *Scheduler) Run() error {
+	for s.Step() {
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop halts the scheduler: no further events fire from RunUntil/Run/Step.
+// It is intended to be called from within an event callback (e.g. when an
+// experiment has observed the condition it was waiting for).
+func (s *Scheduler) Stop() {
+	s.stopped = true
+}
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool {
+	return s.stopped
+}
+
+// eventQueue is a min-heap on (at, seq) implementing heap.Interface.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+func (q eventQueue) peek() *Timer {
+	return q[0]
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped. It
+// is the virtual-time analogue of time.Ticker and is used for heartbeats,
+// sensing scans, and report periods.
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	fn     Callback
+	timer  *Timer
+	done   bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one period
+// from now. A non-positive period is rejected with a nil Ticker.
+func NewTicker(s *Scheduler, period time.Duration, fn Callback) *Ticker {
+	if period <= 0 {
+		return nil
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.s.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done { // fn may have stopped the ticker
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future invocations. It is idempotent.
+func (t *Ticker) Stop() {
+	if t == nil || t.done {
+		return
+	}
+	t.done = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Reset changes the period and restarts the ticker, with the next invocation
+// one new period from now.
+func (t *Ticker) Reset(period time.Duration) {
+	if t == nil || period <= 0 {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.done = false
+	t.period = period
+	t.arm()
+}

@@ -1,0 +1,339 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []time.Duration
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		d := d * time.Second
+		s.At(d, func() { got = append(got, d) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{1, 2, 3, 4, 5}
+	for i, w := range want {
+		if got[i] != w*time.Second {
+			t.Fatalf("fired order %v, want seconds 1..5", got)
+		}
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerClockAdvances(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration
+	s.At(7*time.Second, func() { at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7*time.Second {
+		t.Errorf("Now() inside event = %v, want 7s", at)
+	}
+	if s.Now() != 7*time.Second {
+		t.Errorf("final Now() = %v, want 7s", s.Now())
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(5*time.Second, func() {
+		// Schedule an event "in the past"; it must fire at the current time,
+		// not move the clock backwards.
+		s.At(time.Second, func() {
+			fired = true
+			if s.Now() != 5*time.Second {
+				t.Errorf("past event fired at %v, want 5s", s.Now())
+			}
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("past-scheduled event never fired")
+	}
+}
+
+func TestSchedulerNegativeAfterClamped(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || s.Now() != 0 {
+		t.Errorf("negative After: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	if err := s.RunUntil(2500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2500*time.Millisecond {
+		t.Errorf("Now() = %v, want 2.5s", s.Now())
+	}
+	if s.Len() != 2 {
+		t.Errorf("pending = %d, want 2", s.Len())
+	}
+	// Continue to the end.
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("total fired = %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilInclusiveOfDeadline(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event exactly at the deadline did not fire")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.At(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop on pending timer should return true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should return false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.At(time.Second, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Pending() {
+		t.Error("fired timer still pending")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire should return false")
+	}
+}
+
+func TestTimerStopFromOtherEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	victim := s.At(2*time.Second, func() { fired = true })
+	s.At(time.Second, func() { victim.Stop() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("timer stopped by earlier event still fired")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	err := s.Run()
+	if err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("executed %d events after Stop, want 3", count)
+	}
+	if !s.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	s := NewScheduler()
+	var times []time.Duration
+	tk := NewTicker(s, time.Second, func() { times = append(times, s.Now()) })
+	if tk == nil {
+		t.Fatal("NewTicker returned nil for valid period")
+	}
+	if err := s.RunUntil(5500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5: %v", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * time.Second
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(s, time.Second, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("ticker fired %d times after Stop at 2, want 2", count)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerReset(t *testing.T) {
+	s := NewScheduler()
+	var times []time.Duration
+	tk := NewTicker(s, time.Second, func() { times = append(times, s.Now()) })
+	s.At(2500*time.Millisecond, func() { tk.Reset(2 * time.Second) })
+	if err := s.RunUntil(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks at 1s, 2s, then reset at 2.5s -> 4.5s, 6.5s.
+	want := []time.Duration{
+		1 * time.Second,
+		2 * time.Second,
+		4500 * time.Millisecond,
+		6500 * time.Millisecond,
+	}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerInvalidPeriod(t *testing.T) {
+	s := NewScheduler()
+	if tk := NewTicker(s, 0, func() {}); tk != nil {
+		t.Error("NewTicker with zero period should return nil")
+	}
+	if tk := NewTicker(s, -time.Second, func() {}); tk != nil {
+		t.Error("NewTicker with negative period should return nil")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 17; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed() != 17 {
+		t.Errorf("Executed = %d, want 17", s.Executed())
+	}
+}
+
+// Property: regardless of insertion order, events fire sorted by time, and
+// equal times fire in insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []rec
+		for i, r := range raw {
+			at := time.Duration(r%50) * time.Millisecond
+			i := i
+			s.At(at, func() { fired = append(fired, rec{at: at, seq: i}) })
+			// Randomly interleave some cancelled timers to exercise heap removal.
+			if rng.Intn(3) == 0 {
+				tm := s.At(time.Duration(rng.Intn(50))*time.Millisecond, func() {
+					fired = append(fired, rec{at: -1, seq: -1})
+				})
+				tm.Stop()
+			}
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"time"
+)
+
+// LabelEventType classifies an entry in the coherence Ledger.
+type LabelEventType int
+
+// Ledger event types.
+const (
+	LabelCreated LabelEventType = iota + 1
+	LabelTakeover
+	LabelRelinquish
+	LabelYield
+	LabelDeleted
+)
+
+// String implements fmt.Stringer.
+func (t LabelEventType) String() string {
+	switch t {
+	case LabelCreated:
+		return "created"
+	case LabelTakeover:
+		return "takeover"
+	case LabelRelinquish:
+		return "relinquish"
+	case LabelYield:
+		return "yield"
+	case LabelDeleted:
+		return "deleted"
+	default:
+		return "unknown"
+	}
+}
+
+// LabelEvent records one group-management transition for a context label.
+type LabelEvent struct {
+	At      time.Duration
+	Type    LabelEventType
+	Label   string // label identity
+	CtxType string
+	Mote    int // mote involved (new leader for takeover/relinquish, creator for created)
+}
+
+// Ledger is the coherence monitor. The group-management layer reports label
+// lifecycle events; experiments then derive the paper's handover-success
+// metric: a *successful* handover is a leadership change within the same
+// label (takeover or relinquish); an *unsuccessful* one is the creation of
+// an additional label of the same context type while an earlier label for
+// the tracked entity exists (the "spurious label" case of Section 5.2).
+type Ledger struct {
+	Events []LabelEvent
+}
+
+// Record appends an event.
+func (l *Ledger) Record(ev LabelEvent) {
+	l.Events = append(l.Events, ev)
+}
+
+// HandoverSummary is the outcome of a single-target run.
+type HandoverSummary struct {
+	Created    int // labels created for the context type
+	Takeovers  int // receive-timer leadership takeovers
+	Relinquish int // explicit leadership relinquishes
+	Yields     int // leaders yielding to a same-label leader
+	Deleted    int // labels deleted (weight-based suppression)
+	// Successful and Failed partition handover attempts per the paper.
+	Successful int
+	Failed     int
+}
+
+// SuccessRate returns Successful/(Successful+Failed), or 1 when no handover
+// was attempted (a run with a stationary or in-range target needs none).
+func (h HandoverSummary) SuccessRate() float64 {
+	total := h.Successful + h.Failed
+	if total == 0 {
+		return 1
+	}
+	return float64(h.Successful) / float64(total)
+}
+
+// StrictSuccessRate is the paper's Figure 4 metric: every label created
+// beyond the first counts as a failed handover ("a new context label is
+// spawned at the new tank's location"), even if weight-based suppression
+// later reabsorbed it. Returns 1 when no handover was attempted.
+func (h HandoverSummary) StrictSuccessRate() float64 {
+	failed := h.Created - 1
+	if failed < 0 {
+		failed = 0
+	}
+	total := h.Successful + failed
+	if total == 0 {
+		return 1
+	}
+	return float64(h.Successful) / float64(total)
+}
+
+// CoherenceViolations counts the spurious-label creations: labels beyond
+// the first that were never reabsorbed by deletion.
+func (h HandoverSummary) CoherenceViolations() int {
+	extra := h.Created - 1 - h.Deleted
+	if extra < 0 {
+		return 0
+	}
+	return extra
+}
+
+// Summarize derives the handover metrics for one context type from the
+// ledger, assuming a single tracked entity (the experimental setup of
+// Section 6.1). Leadership changes within a label count as successful
+// handovers. Each label created after the first counts as a failed
+// handover: the target was rediscovered as a "new" entity, violating
+// context-label coherence. Labels deleted by weight-based suppression are
+// removed from the failure count — the system recovered coherence.
+func (l *Ledger) Summarize(ctxType string) HandoverSummary {
+	var s HandoverSummary
+	for _, ev := range l.Events {
+		if ev.CtxType != ctxType {
+			continue
+		}
+		switch ev.Type {
+		case LabelCreated:
+			s.Created++
+		case LabelTakeover:
+			s.Takeovers++
+		case LabelRelinquish:
+			s.Relinquish++
+		case LabelYield:
+			s.Yields++
+		case LabelDeleted:
+			s.Deleted++
+		}
+	}
+	s.Successful = s.Takeovers + s.Relinquish
+	failed := s.Created - 1 - s.Deleted
+	if failed < 0 {
+		failed = 0
+	}
+	s.Failed = failed
+	return s
+}
+
+// DistinctLabels returns how many distinct labels of the context type
+// appear in the ledger.
+func (l *Ledger) DistinctLabels(ctxType string) int {
+	seen := make(map[string]struct{})
+	for _, ev := range l.Events {
+		if ev.CtxType == ctxType && ev.Type == LabelCreated {
+			seen[ev.Label] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// LiveLabels returns the labels of the context type that were created but
+// never deleted, in creation order.
+func (l *Ledger) LiveLabels(ctxType string) []string {
+	var order []string
+	live := make(map[string]bool)
+	for _, ev := range l.Events {
+		if ev.CtxType != ctxType {
+			continue
+		}
+		switch ev.Type {
+		case LabelCreated:
+			if !live[ev.Label] {
+				live[ev.Label] = true
+				order = append(order, ev.Label)
+			}
+		case LabelDeleted:
+			live[ev.Label] = false
+		}
+	}
+	var out []string
+	for _, lb := range order {
+		if live[lb] {
+			out = append(out, lb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+)
+
+func TestStatsCounters(t *testing.T) {
+	var s Stats
+	s.RecordSend(KindHeartbeat, 100)
+	s.RecordSend(KindHeartbeat, 100)
+	s.RecordSend(KindReading, 200)
+	s.RecordReceive(KindHeartbeat)
+	s.RecordLoss(KindHeartbeat, LossRandom)
+	s.RecordLoss(KindHeartbeat, LossCollision)
+	s.RecordLoss(KindReading, LossOverload)
+	s.RecordUndelivered(KindReading)
+
+	hb := s.Kind(KindHeartbeat)
+	if hb.Sent != 2 || hb.Received != 1 || hb.LostRandom != 1 || hb.LostCollision != 1 {
+		t.Errorf("heartbeat stats = %+v", hb)
+	}
+	rd := s.Kind(KindReading)
+	if rd.Sent != 1 || rd.LostOverload != 1 || rd.Undelivered != 1 {
+		t.Errorf("reading stats = %+v", rd)
+	}
+	if s.BitsSent != 400 {
+		t.Errorf("BitsSent = %d, want 400", s.BitsSent)
+	}
+}
+
+func TestStatsLossFraction(t *testing.T) {
+	var s Stats
+	if got := s.LossFraction(KindHeartbeat); got != 0 {
+		t.Errorf("empty LossFraction = %v, want 0", got)
+	}
+	s.RecordReceive(KindHeartbeat)
+	s.RecordReceive(KindHeartbeat)
+	s.RecordReceive(KindHeartbeat)
+	s.RecordLoss(KindHeartbeat, LossCollision)
+	if got := s.LossFraction(KindHeartbeat); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("LossFraction = %v, want 0.25", got)
+	}
+}
+
+func TestStatsSendLossFraction(t *testing.T) {
+	var s Stats
+	if got := s.SendLossFraction(KindReading); got != 0 {
+		t.Errorf("empty SendLossFraction = %v, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		s.RecordSend(KindReading, 10)
+	}
+	s.RecordUndelivered(KindReading)
+	s.RecordUndelivered(KindReading)
+	if got := s.SendLossFraction(KindReading); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("SendLossFraction = %v, want 0.2", got)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	var s Stats
+	s.RecordSend(KindHeartbeat, 50000) // 50 kbit over 2 seconds on a 50 kb/s link => 50%
+	got := s.LinkUtilization(2*time.Second, 50000)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("LinkUtilization = %v, want 0.5", got)
+	}
+	if s.LinkUtilization(0, 50000) != 0 {
+		t.Error("zero runtime should give zero utilization")
+	}
+	if s.LinkUtilization(time.Second, 0) != 0 {
+		t.Error("zero capacity should give zero utilization")
+	}
+}
+
+func TestStatsKindsSorted(t *testing.T) {
+	var s Stats
+	s.RecordSend(KindTransport, 1)
+	s.RecordSend(KindHeartbeat, 1)
+	s.RecordSend(KindReading, 1)
+	kinds := s.Kinds()
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Errorf("Kinds not sorted: %v", kinds)
+		}
+	}
+}
+
+func TestStatsSummaryContainsKinds(t *testing.T) {
+	var s Stats
+	s.RecordSend(KindHeartbeat, 64)
+	s.RecordReceive(KindHeartbeat)
+	sum := s.Summary()
+	if !strings.Contains(sum, "heartbeat") || !strings.Contains(sum, "bits sent: 64") {
+		t.Errorf("Summary missing expected content:\n%s", sum)
+	}
+}
+
+func TestLossCauseString(t *testing.T) {
+	tests := []struct {
+		cause LossCause
+		want  string
+	}{
+		{LossRandom, "random"},
+		{LossCollision, "collision"},
+		{LossOverload, "overload"},
+		{LossCause(99), "LossCause(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.cause.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.cause), got, tt.want)
+		}
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	var tr Trajectory
+	if tr.MeanError() != 0 || tr.MaxError() != 0 {
+		t.Error("empty trajectory should have zero errors")
+	}
+	tr.Record(0, geom.Pt(0, 0), geom.Pt(0, 1))
+	tr.Record(time.Second, geom.Pt(1, 0), geom.Pt(1, 3))
+	if got := tr.MeanError(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanError = %v, want 2", got)
+	}
+	if got := tr.MaxError(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("MaxError = %v, want 3", got)
+	}
+	if len(tr.Points) != 2 {
+		t.Errorf("Points = %d, want 2", len(tr.Points))
+	}
+}
+
+func TestLedgerSummarizeAllSuccess(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{At: 0, Type: LabelCreated, Label: "t1", CtxType: "tracker", Mote: 1})
+	l.Record(LabelEvent{At: time.Second, Type: LabelRelinquish, Label: "t1", CtxType: "tracker", Mote: 2})
+	l.Record(LabelEvent{At: 2 * time.Second, Type: LabelTakeover, Label: "t1", CtxType: "tracker", Mote: 3})
+	s := l.Summarize("tracker")
+	if s.Created != 1 || s.Takeovers != 1 || s.Relinquish != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Successful != 2 || s.Failed != 0 {
+		t.Errorf("success/fail = %d/%d, want 2/0", s.Successful, s.Failed)
+	}
+	if s.SuccessRate() != 1 {
+		t.Errorf("SuccessRate = %v, want 1", s.SuccessRate())
+	}
+	if s.CoherenceViolations() != 0 {
+		t.Errorf("CoherenceViolations = %d, want 0", s.CoherenceViolations())
+	}
+}
+
+func TestLedgerSummarizeSpuriousLabel(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t1", CtxType: "tracker"})
+	l.Record(LabelEvent{Type: LabelTakeover, Label: "t1", CtxType: "tracker"})
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t2", CtxType: "tracker"}) // spurious
+	s := l.Summarize("tracker")
+	if s.Successful != 1 || s.Failed != 1 {
+		t.Errorf("success/fail = %d/%d, want 1/1", s.Successful, s.Failed)
+	}
+	if got := s.SuccessRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SuccessRate = %v, want 0.5", got)
+	}
+	if s.CoherenceViolations() != 1 {
+		t.Errorf("CoherenceViolations = %d, want 1", s.CoherenceViolations())
+	}
+}
+
+func TestLedgerSummarizeSuppressedLabel(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t1", CtxType: "tracker"})
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t2", CtxType: "tracker"})
+	l.Record(LabelEvent{Type: LabelDeleted, Label: "t2", CtxType: "tracker"}) // weight suppression recovered it
+	s := l.Summarize("tracker")
+	if s.Failed != 0 {
+		t.Errorf("Failed = %d, want 0 after suppression", s.Failed)
+	}
+	if s.CoherenceViolations() != 0 {
+		t.Errorf("CoherenceViolations = %d, want 0", s.CoherenceViolations())
+	}
+}
+
+func TestLedgerIgnoresOtherContextTypes(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{Type: LabelCreated, Label: "f1", CtxType: "fire"})
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t1", CtxType: "tracker"})
+	s := l.Summarize("tracker")
+	if s.Created != 1 {
+		t.Errorf("Created = %d, want 1", s.Created)
+	}
+}
+
+func TestLedgerNoHandoversIsPerfect(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{Type: LabelCreated, Label: "t1", CtxType: "tracker"})
+	s := l.Summarize("tracker")
+	if s.SuccessRate() != 1 {
+		t.Errorf("SuccessRate with no handovers = %v, want 1", s.SuccessRate())
+	}
+}
+
+func TestLedgerDistinctAndLiveLabels(t *testing.T) {
+	var l Ledger
+	l.Record(LabelEvent{Type: LabelCreated, Label: "a", CtxType: "x"})
+	l.Record(LabelEvent{Type: LabelCreated, Label: "b", CtxType: "x"})
+	l.Record(LabelEvent{Type: LabelDeleted, Label: "a", CtxType: "x"})
+	l.Record(LabelEvent{Type: LabelCreated, Label: "c", CtxType: "y"})
+	if got := l.DistinctLabels("x"); got != 2 {
+		t.Errorf("DistinctLabels(x) = %d, want 2", got)
+	}
+	live := l.LiveLabels("x")
+	if len(live) != 1 || live[0] != "b" {
+		t.Errorf("LiveLabels(x) = %v, want [b]", live)
+	}
+}
+
+func TestLabelEventTypeString(t *testing.T) {
+	tests := []struct {
+		ty   LabelEventType
+		want string
+	}{
+		{LabelCreated, "created"},
+		{LabelTakeover, "takeover"},
+		{LabelRelinquish, "relinquish"},
+		{LabelYield, "yield"},
+		{LabelDeleted, "deleted"},
+		{LabelEventType(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.ty.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package transport implements MTP, EnviroTrack's transport layer
+// (Section 5.4): remote method invocation between context labels.
+// Connections are identified by (label, port) pairs; every outgoing
+// datagram identifies the source's current leader in its header, so that
+// endpoints keep per-label last-known-leader tables (LRU-replaced) up to
+// date. Messages addressed to an out-of-date leader are forwarded along
+// the chain of past leaders toward the label's current leader.
+package transport
+
+import (
+	"strings"
+
+	"envirotrack/internal/directory"
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/routing"
+	"envirotrack/internal/trace"
+)
+
+// PortID identifies a method endpoint within a context label.
+type PortID uint16
+
+// MaxForwardChain bounds forwarding along past leaders.
+const MaxForwardChain = 8
+
+// Datagram is one MTP message between (label, port) endpoints.
+type Datagram struct {
+	SrcLabel group.Label
+	SrcPort  PortID
+	DstLabel group.Label
+	DstPort  PortID
+	// SrcLeader and SrcLoc identify the source's current leader, carried
+	// in every message so receivers refresh their leader tables.
+	SrcLeader radio.NodeID
+	SrcLoc    geom.Point
+	Payload   any
+	// Chain counts forwarding steps along past leaders.
+	Chain int
+}
+
+// Config parameterizes an endpoint.
+type Config struct {
+	// TableCap bounds the last-known-leader table (DefaultTableCap if 0).
+	TableCap int
+	// MessageBits sizes MTP frames on the air.
+	MessageBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MessageBits <= 0 {
+		c.MessageBits = 64 * 8
+	}
+	return c
+}
+
+// Stats counts endpoint-level outcomes.
+type Stats struct {
+	Delivered      uint64 // datagrams handed to a local port handler
+	ChainForwarded uint64 // datagrams forwarded along past leaders
+	NoRoute        uint64 // datagrams dropped: no leader known anywhere
+	NoHandler      uint64 // datagrams that reached a leader without a handler
+}
+
+type portKey struct {
+	label group.Label
+	port  PortID
+}
+
+// Endpoint is the per-mote MTP component. IMPORTANT: because it snoops
+// group heartbeats without consuming them, it must be attached to the mote
+// *before* the group.Manager in frame-handler order.
+type Endpoint struct {
+	m      *mote.Mote
+	router *routing.Router
+	dir    *directory.Service
+	cfg    Config
+
+	table    *LeaderTable
+	handlers map[portKey]func(Datagram)
+	leading  map[group.Label]bool
+
+	// Stats exposes delivery accounting for tests and experiments.
+	Stats Stats
+}
+
+// NewEndpoint attaches an MTP endpoint to the mote. dir may be nil; then
+// first-contact sends to unknown labels fail until a heartbeat or incoming
+// datagram teaches the endpoint the label's leader.
+func NewEndpoint(m *mote.Mote, router *routing.Router, dir *directory.Service, cfg Config) *Endpoint {
+	e := &Endpoint{
+		m:        m,
+		router:   router,
+		dir:      dir,
+		cfg:      cfg.withDefaults(),
+		table:    NewLeaderTable(cfg.TableCap),
+		handlers: make(map[portKey]func(Datagram)),
+		leading:  make(map[group.Label]bool),
+	}
+	m.AddFrameHandler(e.snoopHeartbeat)
+	router.AddHandler(e.handleRouted)
+	return e
+}
+
+// SetLeading tells the endpoint whether this mote currently leads a label.
+// The middleware calls it from the group manager's leadership callbacks.
+func (e *Endpoint) SetLeading(label group.Label, leading bool) {
+	if leading {
+		e.leading[label] = true
+		return
+	}
+	delete(e.leading, label)
+}
+
+// Leading reports whether this mote leads the label.
+func (e *Endpoint) Leading(label group.Label) bool {
+	return e.leading[label]
+}
+
+// Handle installs the handler for a (label, port) connection endpoint.
+func (e *Endpoint) Handle(label group.Label, port PortID, fn func(Datagram)) {
+	e.handlers[portKey{label: label, port: port}] = fn
+}
+
+// Unhandle removes a port handler.
+func (e *Endpoint) Unhandle(label group.Label, port PortID) {
+	delete(e.handlers, portKey{label: label, port: port})
+}
+
+// Learn records leadership information for a label (also called by the
+// heartbeat snoop).
+func (e *Endpoint) Learn(label group.Label, info LeaderInfo) {
+	e.table.Put(label, info)
+}
+
+// Table exposes the last-known-leader table (for inspection and tests).
+func (e *Endpoint) Table() *LeaderTable {
+	return e.table
+}
+
+// Send transmits a datagram from this mote toward the destination label's
+// leader. The source header fields are stamped automatically. If the
+// destination label is unknown, the directory is consulted first (the
+// paper's "first contacted" path); later messages use the cached leader.
+func (e *Endpoint) Send(d Datagram) {
+	d.SrcLeader = e.m.ID()
+	d.SrcLoc = e.m.Pos()
+	if info, ok := e.table.Get(d.DstLabel); ok {
+		e.routeTo(info, d)
+		return
+	}
+	if e.dir == nil {
+		e.Stats.NoRoute++
+		return
+	}
+	ctxType := labelType(d.DstLabel)
+	e.dir.Query(ctxType, func(entries []directory.Entry) {
+		for _, ent := range entries {
+			if ent.Label == d.DstLabel {
+				info := LeaderInfo{Leader: ent.Leader, Loc: ent.Location, UpdatedAt: ent.UpdatedAt}
+				e.table.Put(d.DstLabel, info)
+				e.routeTo(info, d)
+				return
+			}
+		}
+		e.Stats.NoRoute++
+	})
+}
+
+func (e *Endpoint) routeTo(info LeaderInfo, d Datagram) {
+	e.router.Send(routing.Message{
+		Kind:     trace.KindTransport,
+		Dest:     info.Loc,
+		DestNode: info.Leader,
+		Bits:     e.cfg.MessageBits,
+		Payload:  d,
+	})
+}
+
+// handleRouted processes a datagram that terminated at this node.
+func (e *Endpoint) handleRouted(msg routing.Message) bool {
+	d, ok := msg.Payload.(Datagram)
+	if !ok {
+		return false
+	}
+	// Refresh our view of the source label's leadership from the header.
+	if d.SrcLabel != "" {
+		e.table.Put(d.SrcLabel, LeaderInfo{
+			Leader:    d.SrcLeader,
+			Loc:       d.SrcLoc,
+			UpdatedAt: e.m.Scheduler().Now(),
+		})
+	}
+
+	if e.leading[d.DstLabel] {
+		if fn, ok := e.handlers[portKey{label: d.DstLabel, port: d.DstPort}]; ok {
+			e.Stats.Delivered++
+			fn(d)
+		} else {
+			e.Stats.NoHandler++
+		}
+		return true
+	}
+
+	// Not the current leader: forward along the past-leader chain if we
+	// know a fresher leader.
+	if d.Chain >= MaxForwardChain {
+		e.Stats.NoRoute++
+		return true
+	}
+	if info, ok := e.table.Get(d.DstLabel); ok && info.Leader != e.m.ID() {
+		d.Chain++
+		e.Stats.ChainForwarded++
+		e.routeTo(info, d)
+		return true
+	}
+	e.Stats.NoRoute++
+	return true
+}
+
+// snoopHeartbeat watches group heartbeats (without consuming them) to keep
+// the leader table current; past leaders near a moving group keep fresh
+// forwarding state this way.
+func (e *Endpoint) snoopHeartbeat(f radio.Frame) bool {
+	if hb, ok := f.Payload.(group.Heartbeat); ok {
+		e.table.Put(hb.Label, LeaderInfo{
+			Leader:    hb.Leader,
+			Loc:       hb.LeaderLoc,
+			UpdatedAt: e.m.Scheduler().Now(),
+		})
+	}
+	return false // never consume: the group manager handles heartbeats
+}
+
+// labelType extracts the context type from a label of the canonical
+// "type/mote.seq" form.
+func labelType(l group.Label) string {
+	s := string(l)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

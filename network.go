@@ -1,0 +1,392 @@
+package envirotrack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"envirotrack/internal/core"
+	"envirotrack/internal/geom"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+// ModelFunc assigns a sensing model to each deployed mote; returning nil
+// deploys a pure relay node.
+type ModelFunc func(id NodeID, pos Point) *SensorModel
+
+// networkConfig collects the options of New.
+type networkConfig struct {
+	cols, rows  int
+	commRadius  float64
+	bitRate     float64
+	lossProb    float64
+	propDelay   time.Duration
+	noCollision bool
+	noCSMA      bool
+	seed        int64
+	moteCfg     mote.Config
+	bounds      Rect
+	boundsSet   bool
+	modelFn     ModelFunc
+	directory   bool
+}
+
+// Option configures New.
+type Option interface {
+	apply(*networkConfig)
+}
+
+type optionFunc func(*networkConfig)
+
+func (f optionFunc) apply(c *networkConfig) { f(c) }
+
+// WithGrid deploys a cols x rows grid of motes at unit spacing, with ids
+// assigned row-major starting at 0.
+func WithGrid(cols, rows int) Option {
+	return optionFunc(func(c *networkConfig) { c.cols, c.rows = cols, rows })
+}
+
+// WithCommRadius sets the communication radius in grid units (default 2).
+func WithCommRadius(r float64) Option {
+	return optionFunc(func(c *networkConfig) { c.commRadius = r })
+}
+
+// WithBitRate sets the channel capacity in bits/second (default 50 kb/s,
+// the MICA mote radio).
+func WithBitRate(bps float64) Option {
+	return optionFunc(func(c *networkConfig) { c.bitRate = bps })
+}
+
+// WithLossProb sets the iid per-receiver frame loss probability.
+func WithLossProb(p float64) Option {
+	return optionFunc(func(c *networkConfig) { c.lossProb = p })
+}
+
+// WithPropDelay sets the fixed per-frame propagation delay.
+func WithPropDelay(d time.Duration) Option {
+	return optionFunc(func(c *networkConfig) { c.propDelay = d })
+}
+
+// WithoutCollisions disables the receiver-side collision model.
+func WithoutCollisions() Option {
+	return optionFunc(func(c *networkConfig) { c.noCollision = true })
+}
+
+// WithoutCSMA disables carrier sensing: senders transmit immediately even
+// when the channel around them is busy (an ablation of the MAC layer).
+func WithoutCSMA() Option {
+	return optionFunc(func(c *networkConfig) { c.noCSMA = true })
+}
+
+// WithSeed makes the run deterministic under the given seed (default 1).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *networkConfig) { c.seed = seed })
+}
+
+// WithMoteCPU sets the per-message CPU service time and queue capacity,
+// modeling the constrained mote processor.
+func WithMoteCPU(serviceTime time.Duration, queueCap int) Option {
+	return optionFunc(func(c *networkConfig) {
+		c.moteCfg.ServiceTime = serviceTime
+		c.moteCfg.QueueCap = queueCap
+	})
+}
+
+// WithSensePeriod sets the sensor scan period (default 100 ms).
+func WithSensePeriod(d time.Duration) Option {
+	return optionFunc(func(c *networkConfig) { c.moteCfg.SensePeriod = d })
+}
+
+// WithSensing assigns the same sensing model constructor to every grid
+// mote.
+func WithSensing(model *SensorModel) Option {
+	return optionFunc(func(c *networkConfig) {
+		c.modelFn = func(NodeID, Point) *SensorModel { return model }
+	})
+}
+
+// WithSensingFunc assigns sensing models per mote.
+func WithSensingFunc(fn ModelFunc) Option {
+	return optionFunc(func(c *networkConfig) { c.modelFn = fn })
+}
+
+// WithBounds overrides the field bounds used for directory hashing
+// (default: the grid bounds).
+func WithBounds(r Rect) Option {
+	return optionFunc(func(c *networkConfig) { c.bounds, c.boundsSet = r, true })
+}
+
+// WithDirectory enables the object naming and directory services.
+func WithDirectory() Option {
+	return optionFunc(func(c *networkConfig) { c.directory = true })
+}
+
+// Network is a simulated EnviroTrack deployment: a radio medium, a field
+// of targets, and a set of motes running the middleware stack. It is
+// driven by a virtual clock; use Run/RunSession to advance it. A Network
+// is not safe for concurrent use except through a Session.
+type Network struct {
+	cfg    networkConfig
+	sched  *simtime.Scheduler
+	medium *radio.Medium
+	field  *phenomena.Field
+	stats  *trace.Stats
+	ledger *trace.Ledger
+	rng    *rand.Rand
+
+	nodes   map[NodeID]*Node
+	started bool
+}
+
+// Node is one deployed mote with its middleware stack.
+type Node struct {
+	net   *Network
+	mote  *mote.Mote
+	stack *core.Stack
+}
+
+// New builds a network. With WithGrid, motes 0..cols*rows-1 are deployed
+// immediately; additional motes (base stations, pursuers) can be added
+// with AddMote.
+func New(opts ...Option) (*Network, error) {
+	cfg := networkConfig{
+		commRadius: 2,
+		seed:       1,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.commRadius <= 0 {
+		return nil, fmt.Errorf("envirotrack: communication radius must be positive")
+	}
+
+	sched := simtime.NewScheduler()
+	var stats trace.Stats
+	rng := rand.New(rand.NewSource(cfg.seed))
+	medium := radio.New(sched, radio.Params{
+		CommRadius:        cfg.commRadius,
+		BitRate:           cfg.bitRate,
+		PropDelay:         cfg.propDelay,
+		LossProb:          cfg.lossProb,
+		DisableCollisions: cfg.noCollision,
+		DisableCSMA:       cfg.noCSMA,
+	}, rng, &stats)
+
+	n := &Network{
+		cfg:    cfg,
+		sched:  sched,
+		medium: medium,
+		field:  phenomena.NewField(),
+		stats:  &stats,
+		ledger: &trace.Ledger{},
+		rng:    rng,
+		nodes:  make(map[NodeID]*Node),
+	}
+	if !cfg.boundsSet {
+		n.cfg.bounds = geom.Grid{Cols: cfg.cols, Rows: cfg.rows}.Bounds()
+	}
+
+	if cfg.cols > 0 && cfg.rows > 0 {
+		for y := 0; y < cfg.rows; y++ {
+			for x := 0; x < cfg.cols; x++ {
+				id := NodeID(y*cfg.cols + x)
+				pos := Pt(float64(x), float64(y))
+				var model *SensorModel
+				if cfg.modelFn != nil {
+					model = cfg.modelFn(id, pos)
+				}
+				if _, err := n.AddMote(id, pos, model); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// AddMote deploys an additional mote (e.g. a base station). It must be
+// called before Run.
+func (n *Network) AddMote(id NodeID, pos Point, model *SensorModel) (*Node, error) {
+	if n.started {
+		return nil, fmt.Errorf("envirotrack: cannot add motes after the network started")
+	}
+	m, err := mote.New(id, pos, n.sched, n.medium, n.field, model, n.cfg.moteCfg, n.rng, n.stats)
+	if err != nil {
+		return nil, fmt.Errorf("envirotrack: %w", err)
+	}
+	stack := core.NewStack(m, n.medium, core.StackConfig{
+		Bounds:       n.cfg.bounds,
+		UseDirectory: n.cfg.directory,
+	}, n.ledger)
+	node := &Node{net: n, mote: m, stack: stack}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// AddTarget places a physical entity in the environment.
+func (n *Network) AddTarget(t *Target) {
+	n.field.Add(t)
+}
+
+// Node returns a deployed mote by id.
+func (n *Network) Node(id NodeID) (*Node, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}
+
+// Nodes returns all deployed node ids in ascending order.
+func (n *Network) Nodes() []NodeID {
+	return n.medium.NodeIDs()
+}
+
+// AttachContextAll attaches a context type to every sensing mote.
+func (n *Network) AttachContextAll(spec ContextType) error {
+	for _, id := range n.medium.NodeIDs() {
+		node := n.nodes[id]
+		if node.mote == nil {
+			continue
+		}
+		if _, err := node.stack.AttachContext(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// start launches the sensing scans once.
+func (n *Network) start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	// Deterministic start order: map iteration order would leak into the
+	// scheduler's same-instant FIFO ordering.
+	for _, id := range n.medium.NodeIDs() {
+		n.nodes[id].mote.Start()
+	}
+}
+
+// AddCrossTraffic schedules periodic background frames from src to dst
+// that do not participate in any protocol ("background noise", used by the
+// Section 6.2 bottleneck experiment). Bits <= 0 uses the default frame
+// size.
+func (n *Network) AddCrossTraffic(src, dst NodeID, period time.Duration, bits int) error {
+	if period <= 0 {
+		return fmt.Errorf("envirotrack: cross-traffic period must be positive")
+	}
+	node, ok := n.nodes[src]
+	if !ok {
+		return fmt.Errorf("envirotrack: unknown cross-traffic source %d", src)
+	}
+	simtime.NewTicker(n.sched, period, func() {
+		if node.mote.Failed() {
+			return
+		}
+		n.medium.Send(radio.Frame{
+			Kind: trace.KindCross,
+			Src:  src,
+			Dst:  dst,
+			Bits: bits,
+		})
+	})
+	return nil
+}
+
+// Run advances the simulation by d of virtual time (synchronously, on the
+// calling goroutine). It can be called repeatedly.
+func (n *Network) Run(d time.Duration) error {
+	n.start()
+	return n.sched.RunUntil(n.sched.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration {
+	return n.sched.Now()
+}
+
+// Stats returns the run's radio accounting.
+func (n *Network) Stats() *Stats {
+	return n.stats
+}
+
+// Ledger returns the context-label coherence ledger.
+func (n *Network) Ledger() *Ledger {
+	return n.ledger
+}
+
+// TargetPosition returns a target's position at the current virtual time.
+func (n *Network) TargetPosition(t *Target) Point {
+	return t.PositionAt(n.sched.Now())
+}
+
+// Bounds returns the field bounds.
+func (n *Network) Bounds() Rect {
+	return n.cfg.bounds
+}
+
+// --- Node methods ---
+
+// ID returns the node id.
+func (nd *Node) ID() NodeID { return nd.mote.ID() }
+
+// Pos returns the node position.
+func (nd *Node) Pos() Point { return nd.mote.Pos() }
+
+// AttachContext installs a context type on this mote.
+func (nd *Node) AttachContext(spec ContextType) error {
+	_, err := nd.stack.AttachContext(spec)
+	return err
+}
+
+// AttachStatic installs a static object under the given label on this
+// mote (base stations, sinks, command posts).
+func (nd *Node) AttachStatic(label Label, objects []Object) (*Ctx, error) {
+	return nd.stack.AttachStatic(label, objects)
+}
+
+// OnMessage registers a handler for NodeMessages addressed to this mote
+// by object code (Ctx.SendNode).
+func (nd *Node) OnMessage(fn func(NodeMessage)) {
+	nd.stack.OnNodeMessage(fn)
+}
+
+// Send transmits a transport datagram from this node (for base stations
+// invoking methods on tracking objects).
+func (nd *Node) Send(d Datagram) {
+	nd.stack.Endpoint().Send(d)
+}
+
+// QueryDirectory asks the directory for all labels of a context type.
+func (nd *Node) QueryDirectory(ctxType string, cb func([]DirectoryEntry)) {
+	nd.stack.Directory().Query(ctxType, cb)
+}
+
+// Leading reports whether this node currently leads a label of the given
+// context type.
+func (nd *Node) Leading(ctxType string) bool {
+	rt, ok := nd.stack.Runtime(ctxType)
+	return ok && rt.Leading()
+}
+
+// CurrentLabel returns the label this node participates in for a context
+// type (empty when none).
+func (nd *Node) CurrentLabel(ctxType string) Label {
+	rt, ok := nd.stack.Runtime(ctxType)
+	if !ok {
+		return ""
+	}
+	return rt.Manager().Label()
+}
+
+// Fail kills the mote (fault injection); Restore revives it.
+func (nd *Node) Fail() { nd.mote.Fail() }
+
+// Restore revives a failed mote.
+func (nd *Node) Restore() { nd.mote.Restore() }
+
+// Failed reports whether the mote is failed.
+func (nd *Node) Failed() bool { return nd.mote.Failed() }

@@ -1,0 +1,167 @@
+package envirotrack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWithBitRateSlowsDelivery(t *testing.T) {
+	// At a very low bit rate the same scenario puts many more bits-worth
+	// of airtime on the channel; verify runs complete and differ.
+	build := func(bps float64) uint64 {
+		n, err := New(
+			WithGrid(6, 2),
+			WithCommRadius(2.5),
+			WithBitRate(bps),
+			WithSensing(VehicleSensing("vehicle")),
+			WithSeed(3),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AttachContextAll(trackerContext(99, nil)); err != nil {
+			t.Fatal(err)
+		}
+		n.AddTarget(&Target{Kind: "vehicle", Traj: Stationary{At: Pt(2.5, 0.5)}, SignatureRadius: 1.6})
+		if err := n.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return n.Stats().BitsSent
+	}
+	fast := build(250_000)
+	slow := build(10_000)
+	if fast == 0 || slow == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestWithPropDelayAndBounds(t *testing.T) {
+	n, err := New(
+		WithGrid(4, 2),
+		WithCommRadius(2.5),
+		WithPropDelay(2*time.Millisecond),
+		WithBounds(Rect{Min: Pt(-5, -5), Max: Pt(20, 20)}),
+		WithSensing(VehicleSensing("vehicle")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Bounds().Max != Pt(20, 20) {
+		t.Errorf("Bounds = %v", n.Bounds())
+	}
+	if err := n.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithSensingFuncPerMote(t *testing.T) {
+	// Only even motes get sensors; odd motes are relays.
+	n, err := New(
+		WithGrid(6, 1),
+		WithCommRadius(2.5),
+		WithSensingFunc(func(id NodeID, _ Point) *SensorModel {
+			if id%2 == 0 {
+				return VehicleSensing("vehicle")
+			}
+			return nil
+		}),
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachContextAll(trackerContext(99, nil)); err != nil {
+		t.Fatal(err)
+	}
+	n.AddTarget(&Target{Kind: "vehicle", Traj: Stationary{At: Pt(2, 0)}, SignatureRadius: 1.4})
+	if err := n.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A label forms from the sensing motes only.
+	labels := n.Ledger().LiveLabels("tracker")
+	if len(labels) != 1 {
+		t.Errorf("live labels = %v, want 1", labels)
+	}
+	for _, id := range n.Nodes() {
+		node, _ := n.Node(id)
+		if id%2 == 1 && node.Leading("tracker") {
+			t.Errorf("sensor-less mote %d became leader", id)
+		}
+	}
+}
+
+func TestWithoutCollisionsAndCSMA(t *testing.T) {
+	n, err := New(
+		WithGrid(4, 2),
+		WithCommRadius(2.5),
+		WithoutCollisions(),
+		WithoutCSMA(),
+		WithSensing(VehicleSensing("vehicle")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachContextAll(trackerContext(99, nil)); err != nil {
+		t.Fatal(err)
+	}
+	n.AddTarget(&Target{Kind: "vehicle", Traj: Stationary{At: Pt(1.5, 0.5)}, SignatureRadius: 1.6})
+	if err := n.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	hb := n.Stats().Kind("heartbeat")
+	if hb.LostCollision != 0 {
+		t.Errorf("collisions recorded with the model disabled: %d", hb.LostCollision)
+	}
+}
+
+func TestAddCrossTraffic(t *testing.T) {
+	n := buildNet(t)
+	if err := n.AddCrossTraffic(0, 1, 100*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddCrossTraffic(0, 1, 0, 0); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if err := n.AddCrossTraffic(12345, 1, time.Second, 0); err == nil {
+		t.Error("expected error for unknown source")
+	}
+	if err := n.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().Kind("cross-traffic").Sent == 0 {
+		t.Error("no cross traffic transmitted")
+	}
+}
+
+func TestTargetPosition(t *testing.T) {
+	n := buildNet(t)
+	tg := &Target{Kind: "vehicle", Traj: Line{Start: Pt(0, 0), Dir: Vec(1, 0), Speed: 1}}
+	n.AddTarget(tg)
+	if err := n.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := n.TargetPosition(tg)
+	if got.Dist(Pt(3, 0)) > 1e-9 {
+		t.Errorf("TargetPosition = %v, want (3,0)", got)
+	}
+}
+
+func TestPublicConstructorsExist(t *testing.T) {
+	if NewSensorModel() == nil || NewSenseRegistry() == nil || NewAggRegistry() == nil {
+		t.Error("constructors returned nil")
+	}
+	m := NewSensorModel()
+	m.SetChannel("x", ConstantChannel(5))
+	m.SetChannel("d", DetectionChannel("vehicle"))
+	m.SetChannel("i", IntensityChannel("vehicle", 2))
+	if len(m.Channels()) != 3 {
+		t.Errorf("channels = %v", m.Channels())
+	}
+	if v := Vec(3, 4); v.Len() != 5 {
+		t.Errorf("Vec/Len = %v", v.Len())
+	}
+	fs := FireSensing("fire", 20)
+	if fs == nil {
+		t.Error("FireSensing returned nil")
+	}
+}

@@ -1,0 +1,98 @@
+package envirotrack
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Event is one message observed by a subscribed node during a Session.
+type Event struct {
+	At   time.Duration
+	Node NodeID
+	Msg  NodeMessage
+}
+
+// ErrSessionStopped is returned by Wait when the session was stopped
+// before reaching its deadline.
+var ErrSessionStopped = errors.New("envirotrack: session stopped")
+
+// Session runs a network on a background goroutine and streams the
+// NodeMessages received by subscribed nodes. It owns the goroutine's
+// lifetime: Stop signals it, Wait blocks until it exits, and the event
+// channel is closed when the run completes.
+type Session struct {
+	events chan Event
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	err      error
+}
+
+// RunSession starts the simulation in the background for d of virtual
+// time, streaming messages received by the subscribed nodes. The network
+// must not be used directly while the session runs; the event channel is
+// closed when the session finishes.
+func (n *Network) RunSession(d time.Duration, subscribe ...NodeID) *Session {
+	s := &Session{
+		events: make(chan Event, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, id := range subscribe {
+		if node, ok := n.nodes[id]; ok {
+			nodeID := id
+			node.OnMessage(func(msg NodeMessage) {
+				// Runs on the session goroutine (scheduler thread);
+				// blocking here paces the simulation to the consumer.
+				select {
+				case s.events <- Event{At: n.sched.Now(), Node: nodeID, Msg: msg}:
+				case <-s.stop:
+				}
+			})
+		}
+	}
+	n.start()
+	deadline := n.sched.Now() + d
+	go func() {
+		defer close(s.done)
+		defer close(s.events)
+		for {
+			select {
+			case <-s.stop:
+				s.err = ErrSessionStopped
+				return
+			default:
+			}
+			if n.sched.Now() >= deadline || !n.sched.Step() {
+				// Advance the clock to the deadline for consistency with
+				// Network.Run semantics.
+				if err := n.sched.RunUntil(deadline); err != nil {
+					s.err = err
+				}
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Events returns the stream of subscribed messages. It is closed when the
+// session ends.
+func (s *Session) Events() <-chan Event {
+	return s.events
+}
+
+// Stop asks the session to end early. It is safe to call multiple times
+// and from any goroutine.
+func (s *Session) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Wait blocks until the session goroutine exits and returns its error
+// (nil on a completed run, ErrSessionStopped after Stop).
+func (s *Session) Wait() error {
+	<-s.done
+	return s.err
+}

@@ -1,0 +1,110 @@
+package envirotrack
+
+import (
+	"time"
+)
+
+// VelocityEstimator derives a tracked entity's velocity from the stream of
+// position reports its context label produces — the natural downstream
+// computation for the paper's pursuer, which "monitors all vehicles at all
+// times and records their tracks". Feed it each (time, position) report;
+// it fits velocity by least squares over a sliding window, which smooths
+// the centroid quantization noise inherent to avg(position).
+//
+// The zero value is not usable; construct with NewVelocityEstimator.
+type VelocityEstimator struct {
+	window  time.Duration
+	samples []trackSample
+}
+
+type trackSample struct {
+	at  time.Duration
+	pos Point
+}
+
+// NewVelocityEstimator creates an estimator that fits over the given
+// window (e.g. 3-5 report periods). Non-positive windows default to 15s.
+func NewVelocityEstimator(window time.Duration) *VelocityEstimator {
+	if window <= 0 {
+		window = 15 * time.Second
+	}
+	return &VelocityEstimator{window: window}
+}
+
+// Observe records one position report. Out-of-order samples (older than
+// the latest) are ignored.
+func (v *VelocityEstimator) Observe(at time.Duration, pos Point) {
+	if n := len(v.samples); n > 0 && at <= v.samples[n-1].at {
+		return
+	}
+	v.samples = append(v.samples, trackSample{at: at, pos: pos})
+	v.prune(at)
+}
+
+func (v *VelocityEstimator) prune(now time.Duration) {
+	cutoff := now - v.window
+	i := 0
+	for i < len(v.samples) && v.samples[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		v.samples = append(v.samples[:0], v.samples[i:]...)
+	}
+}
+
+// Samples returns the number of reports inside the window.
+func (v *VelocityEstimator) Samples() int {
+	return len(v.samples)
+}
+
+// Velocity returns the least-squares velocity (grid units per second) over
+// the window. It requires at least two samples spanning a non-zero time.
+func (v *VelocityEstimator) Velocity() (Vector, bool) {
+	n := len(v.samples)
+	if n < 2 {
+		return Vector{}, false
+	}
+	// Least squares slope of x(t) and y(t).
+	var sumT, sumX, sumY float64
+	for _, s := range v.samples {
+		sumT += s.at.Seconds()
+		sumX += s.pos.X
+		sumY += s.pos.Y
+	}
+	meanT := sumT / float64(n)
+	meanX := sumX / float64(n)
+	meanY := sumY / float64(n)
+	var varT, covTX, covTY float64
+	for _, s := range v.samples {
+		dt := s.at.Seconds() - meanT
+		varT += dt * dt
+		covTX += dt * (s.pos.X - meanX)
+		covTY += dt * (s.pos.Y - meanY)
+	}
+	if varT == 0 {
+		return Vector{}, false
+	}
+	return Vec(covTX/varT, covTY/varT), true
+}
+
+// Speed returns the magnitude of the velocity estimate.
+func (v *VelocityEstimator) Speed() (float64, bool) {
+	vel, ok := v.Velocity()
+	if !ok {
+		return 0, false
+	}
+	return vel.Len(), true
+}
+
+// Predict extrapolates the entity's position at a future time from the
+// latest sample and the current velocity estimate (dead reckoning for
+// pursuit). It fails when no velocity estimate is available.
+func (v *VelocityEstimator) Predict(at time.Duration) (Point, bool) {
+	vel, ok := v.Velocity()
+	if !ok || len(v.samples) == 0 {
+		return Point{}, false
+	}
+	last := v.samples[len(v.samples)-1]
+	dt := (at - last.at).Seconds()
+	return last.pos.Add(vel.Scale(dt)), true
+}

@@ -1,0 +1,142 @@
+package envirotrack
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestVelocityEstimatorBasics(t *testing.T) {
+	v := NewVelocityEstimator(20 * time.Second)
+	if _, ok := v.Velocity(); ok {
+		t.Error("velocity with no samples should be unavailable")
+	}
+	v.Observe(0, Pt(0, 0))
+	if _, ok := v.Velocity(); ok {
+		t.Error("velocity with one sample should be unavailable")
+	}
+	v.Observe(10*time.Second, Pt(2, 0))
+	vel, ok := v.Velocity()
+	if !ok {
+		t.Fatal("velocity unavailable with two samples")
+	}
+	if math.Abs(vel.DX-0.2) > 1e-9 || math.Abs(vel.DY) > 1e-9 {
+		t.Errorf("velocity = %v, want (0.2, 0)", vel)
+	}
+	speed, ok := v.Speed()
+	if !ok || math.Abs(speed-0.2) > 1e-9 {
+		t.Errorf("speed = %v, want 0.2", speed)
+	}
+}
+
+func TestVelocityEstimatorSmoothsNoise(t *testing.T) {
+	// Noisy reports around a 0.1 hops/s eastward track: the least-squares
+	// fit recovers the underlying velocity.
+	v := NewVelocityEstimator(60 * time.Second)
+	noise := []float64{0.3, -0.2, 0.25, -0.3, 0.1, -0.15, 0.2, -0.25}
+	for i, n := range noise {
+		at := time.Duration(i*5) * time.Second
+		v.Observe(at, Pt(0.1*at.Seconds()+n, 0.5+n/2))
+	}
+	vel, ok := v.Velocity()
+	if !ok {
+		t.Fatal("no velocity")
+	}
+	if math.Abs(vel.DX-0.1) > 0.03 {
+		t.Errorf("smoothed velocity x = %v, want ~0.1", vel.DX)
+	}
+	if math.Abs(vel.DY) > 0.03 {
+		t.Errorf("smoothed velocity y = %v, want ~0", vel.DY)
+	}
+}
+
+func TestVelocityEstimatorWindowPruning(t *testing.T) {
+	v := NewVelocityEstimator(10 * time.Second)
+	// An old fast segment followed by a stationary phase: the window must
+	// forget the old motion.
+	v.Observe(0, Pt(0, 0))
+	v.Observe(2*time.Second, Pt(2, 0))
+	for at := 20 * time.Second; at <= 30*time.Second; at += 2 * time.Second {
+		v.Observe(at, Pt(5, 0))
+	}
+	if v.Samples() > 6 {
+		t.Errorf("samples = %d, want pruned window", v.Samples())
+	}
+	vel, ok := v.Velocity()
+	if !ok {
+		t.Fatal("no velocity")
+	}
+	if vel.Len() > 1e-9 {
+		t.Errorf("stationary phase velocity = %v, want 0", vel)
+	}
+}
+
+func TestVelocityEstimatorIgnoresOutOfOrder(t *testing.T) {
+	v := NewVelocityEstimator(time.Minute)
+	v.Observe(10*time.Second, Pt(1, 0))
+	v.Observe(5*time.Second, Pt(99, 99)) // stale report: dropped
+	if v.Samples() != 1 {
+		t.Errorf("samples = %d, want 1", v.Samples())
+	}
+}
+
+func TestVelocityEstimatorPredict(t *testing.T) {
+	v := NewVelocityEstimator(time.Minute)
+	if _, ok := v.Predict(time.Second); ok {
+		t.Error("prediction without samples should fail")
+	}
+	v.Observe(0, Pt(0, 1))
+	v.Observe(10*time.Second, Pt(1, 1))
+	got, ok := v.Predict(20 * time.Second)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if got.Dist(Pt(2, 1)) > 1e-9 {
+		t.Errorf("Predict = %v, want (2, 1)", got)
+	}
+}
+
+func TestVelocityEstimatorSameInstantSamples(t *testing.T) {
+	v := NewVelocityEstimator(time.Minute)
+	v.Observe(time.Second, Pt(0, 0))
+	v.Observe(time.Second, Pt(1, 1)) // duplicate timestamp: dropped
+	if _, ok := v.Velocity(); ok {
+		t.Error("velocity from a single instant should fail")
+	}
+}
+
+// TestVelocityEstimatorAgainstSimulatedTrack feeds the estimator real
+// tracking reports from a simulated run and compares against the true
+// target speed.
+func TestVelocityEstimatorAgainstSimulatedTrack(t *testing.T) {
+	n := buildNet(t)
+	var est = NewVelocityEstimator(20 * time.Second)
+	spec := trackerContext(100, nil)
+	if err := n.AttachContextAll(spec); err != nil {
+		t.Fatal(err)
+	}
+	pursuer, err := n.AddMote(100, Pt(7, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pursuer.OnMessage(func(nm NodeMessage) {
+		if p, ok := nm.Payload.(Point); ok {
+			est.Observe(n.Now(), p)
+		}
+	})
+	n.AddTarget(&Target{
+		Kind:            "vehicle",
+		Traj:            Line{Start: Pt(-1.5, 1), Dir: Vec(1, 0), Speed: 0.25},
+		SignatureRadius: 1.6,
+	})
+	if err := n.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	speed, ok := est.Speed()
+	if !ok {
+		t.Fatal("no speed estimate from the simulated track")
+	}
+	if math.Abs(speed-0.25) > 0.1 {
+		t.Errorf("estimated speed = %.3f hops/s, want ~0.25", speed)
+	}
+}
