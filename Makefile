@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates every paper table/figure benchmark plus the substrate
+# micro-benchmarks, emitting the machine-readable trajectory the ROADMAP
+# tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_1.json
+
+clean:
+	rm -f BENCH_1.json

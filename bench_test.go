@@ -15,11 +15,15 @@ package envirotrack_test
 //	BenchmarkFigure6   ... speed_ratio3_r2 breakdown_ratio075 ...
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"envirotrack"
 	"envirotrack/internal/eval"
+	"envirotrack/internal/geom"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
 )
 
 // benchTrackerSource is the Figure 2 program used by the preprocessor
@@ -249,13 +253,100 @@ func BenchmarkAblationRelinquish(b *testing.B) {
 
 // --- micro-benchmarks of the substrates ---
 
-// BenchmarkSimulationThroughput measures simulated tracking: wall time per
-// simulated second of the Figure 3 scenario.
+// BenchmarkSimulationThroughput measures simulated tracking on the Figure
+// 3 scenario. Besides ns/op it reports the throughput metrics the ROADMAP
+// tracks: sim_s_per_wall_s (simulated target-path seconds delivered per
+// wall-clock second) and runs/s.
 func BenchmarkSimulationThroughput(b *testing.B) {
+	var simSeconds float64
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Run(eval.Scenario{Seed: int64(i + 1)}); err != nil {
+		res, err := eval.Run(eval.Scenario{Seed: int64(i + 1)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		simSeconds += res.Duration.Seconds()
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(simSeconds/wall, "sim_s_per_wall_s")
+		b.ReportMetric(float64(b.N)/wall, "runs/s")
+	}
+}
+
+// BenchmarkSweepSerialVsParallel times the same Figure 4 sweep through the
+// serial path (parallelism 1) and the worker pool (one worker per CPU) and
+// reports the wall-clock speedup. The rows are identical either way (see
+// TestParallelSweepsMatchSerial); only the elapsed time differs, and only
+// when more than one CPU is available.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	defer eval.SetParallelism(0)
+	const trials = 2
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		eval.SetParallelism(1)
+		t0 := time.Now()
+		if _, err := eval.RunFigure4(trials); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+
+		eval.SetParallelism(0)
+		t0 = time.Now()
+		if _, err := eval.RunFigure4(trials); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+	}
+	if parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+		b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel_sweep_s")
+		b.ReportMetric(serial.Seconds()/float64(b.N), "serial_sweep_s")
+	}
+}
+
+// BenchmarkNeighborsLargeField compares the spatial-hash NodesNear against
+// the brute-force full-field scan it replaced, on a 60x60 (3600-mote)
+// field, reporting ns/lookup for each and the speedup.
+func BenchmarkNeighborsLargeField(b *testing.B) {
+	const cols, rows = 60, 60
+	const radius = 2.5
+	m := radio.New(simtime.NewScheduler(), radio.Params{CommRadius: radius},
+		rand.New(rand.NewSource(1)), nil)
+	pts := geom.Grid{Cols: cols, Rows: rows}.Points()
+	for i, p := range pts {
+		if err := m.AddNode(radio.NodeID(i), p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	brute := func(p geom.Point, r float64) []radio.NodeID {
+		var out []radio.NodeID
+		for i := range pts {
+			if pts[i].Within(p, r) {
+				out = append(out, radio.NodeID(i))
+			}
+		}
+		return out
+	}
+	query := func(i int) geom.Point { return pts[(i*7919)%len(pts)] }
+
+	var sink []radio.NodeID
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		sink = m.NodesNear(query(i), radius)
+	}
+	spatial := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < b.N; i++ {
+		sink = brute(query(i), radius)
+	}
+	bruteTime := time.Since(t0)
+	_ = sink
+
+	b.ReportMetric(float64(spatial.Nanoseconds())/float64(b.N), "ns/lookup")
+	b.ReportMetric(float64(bruteTime.Nanoseconds())/float64(b.N), "brute_ns/lookup")
+	if spatial > 0 {
+		b.ReportMetric(float64(bruteTime)/float64(spatial), "speedup_x")
 	}
 }
 

@@ -9,6 +9,7 @@
 //	etsim -exp fig5            # max trackable speed vs heartbeat (Figure 5)
 //	etsim -exp fig6            # max trackable speed vs CR:SR (Figure 6)
 //	etsim -exp all             # everything
+//	etsim -exp all -parallel 8 # same results, sweeps fanned over 8 workers
 package main
 
 import (
@@ -21,13 +22,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
-		trials = flag.Int("trials", 3, "trials per Figure 4 cell")
-		runs   = flag.Int("runs", 3, "runs per Table 1 row")
-		seed   = flag.Int64("seed", 1, "seed for Figure 3")
-		quick  = flag.Bool("quick", false, "reduced sweeps for Figures 5 and 6")
+		exp      = flag.String("exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
+		trials   = flag.Int("trials", 3, "trials per Figure 4 cell")
+		runs     = flag.Int("runs", 3, "runs per Table 1 row")
+		seed     = flag.Int64("seed", 1, "seed for Figure 3")
+		quick    = flag.Bool("quick", false, "reduced sweeps for Figures 5 and 6")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+	eval.SetParallelism(*parallel)
 	if err := run(*exp, *trials, *runs, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "etsim:", err)
 		os.Exit(1)

@@ -1,9 +1,22 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"envirotrack/internal/eval"
+)
 
 func TestRunFig3(t *testing.T) {
 	if err := run("fig3", 1, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFig4Parallel drives an experiment the way `-parallel 2` would.
+func TestRunFig4Parallel(t *testing.T) {
+	eval.SetParallelism(2)
+	defer eval.SetParallelism(0)
+	if err := run("fig4", 1, 1, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,9 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+
+	"envirotrack/internal/eval/runpar"
 )
 
 // --- Figure 3: tracked tank trajectory ---
@@ -72,30 +75,43 @@ type Figure4Row struct {
 // RunFigure4 measures handover success for the two emulated tank speeds
 // (33 and 50 km/h) under the two heartbeat-propagation settings (h = 0:
 // heartbeats stay within the radio radius; h = 1: propagated one hop past
-// the sensing perimeter). Each cell averages `trials` seeded runs.
+// the sensing perimeter). Each cell averages `trials` seeded runs; the
+// cell×trial cross product fans across Parallelism() workers, and the
+// per-cell averages are folded in trial order, so the rows are identical
+// to the serial sweep.
 func RunFigure4(trials int) ([]Figure4Row, error) {
 	if trials <= 0 {
 		trials = 3
 	}
-	var rows []Figure4Row
-	for _, h := range []int{1, 0} {
-		for _, kmh := range []float64{33, 50} {
-			var sum float64
-			for trial := 0; trial < trials; trial++ {
-				sc := figure4Scenario(kmh, h, int64(trial+1))
-				res, err := Run(sc)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.Handover.StrictSuccessRate()
+	type cell struct {
+		h   int
+		kmh float64
+	}
+	cells := []cell{{1, 33}, {1, 50}, {0, 33}, {0, 50}}
+	rates, err := runpar.Map(context.Background(), Parallelism(), len(cells)*trials,
+		func(_ context.Context, i int) (float64, error) {
+			c := cells[i/trials]
+			res, err := Run(figure4Scenario(c.kmh, c.h, int64(i%trials+1)))
+			if err != nil {
+				return 0, err
 			}
-			rows = append(rows, Figure4Row{
-				SpeedKmh:   kmh,
-				HopsPast:   h,
-				SuccessPct: 100 * sum / float64(trials),
-				Trials:     trials,
-			})
+			return res.Handover.StrictSuccessRate(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure4Row, 0, len(cells))
+	for ci, c := range cells {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			sum += rates[ci*trials+trial]
 		}
+		rows = append(rows, Figure4Row{
+			SpeedKmh:   c.kmh,
+			HopsPast:   c.h,
+			SuccessPct: 100 * sum / float64(trials),
+			Trials:     trials,
+		})
 	}
 	return rows, nil
 }
@@ -150,23 +166,35 @@ type Table1Row struct {
 
 // RunTable1 reproduces the communication performance table: per-speed
 // heartbeat loss, member-reading loss, and worst-case link utilization,
-// averaged over `runs` independent runs of the h=1 (correct) setting.
+// averaged over `runs` independent runs of the h=1 (correct) setting. The
+// speed×run cross product fans across Parallelism() workers; per-speed
+// sums are folded in run order, so the rows match the serial sweep
+// exactly.
 func RunTable1(runs int) ([]Table1Row, error) {
 	if runs <= 0 {
 		runs = 3
 	}
-	var rows []Table1Row
-	for _, kmh := range []float64{33, 50} {
+	speeds := []float64{33, 50}
+	type sample struct{ hb, msg, util float64 }
+	samples, err := runpar.Map(context.Background(), Parallelism(), len(speeds)*runs,
+		func(_ context.Context, i int) (sample, error) {
+			res, err := Run(figure4Scenario(speeds[i/runs], 1, int64(100+i%runs)))
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{hb: res.HBLoss, msg: res.MsgLoss, util: res.LinkUtil}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(speeds))
+	for si, kmh := range speeds {
 		var hb, msg, util float64
 		for r := 0; r < runs; r++ {
-			sc := figure4Scenario(kmh, 1, int64(100+r))
-			res, err := Run(sc)
-			if err != nil {
-				return nil, err
-			}
-			hb += res.HBLoss
-			msg += res.MsgLoss
-			util += res.LinkUtil
+			s := samples[si*runs+r]
+			hb += s.hb
+			msg += s.msg
+			util += s.util
 		}
 		rows = append(rows, Table1Row{
 			SpeedKmh:    kmh,

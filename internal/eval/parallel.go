@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parallelism holds the configured sweep width; 0 means "one worker per
+// CPU" (runtime.GOMAXPROCS). It is atomic so benchmarks and the etsim
+// -parallel flag can flip it while sweeps from other goroutines observe a
+// consistent value.
+var parallelism atomic.Int32
+
+// SetParallelism bounds how many simulation runs the sweep harnesses
+// (RunFigure4/5/6, RunTable1, MaxTrackableSpeed) execute concurrently.
+// n <= 0 restores the default of one worker per CPU; n == 1 forces the
+// serial path. Every run is seeded and owns its scheduler, so results are
+// identical at any setting — only wall-clock time changes.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective sweep width: the value configured via
+// SetParallelism, or GOMAXPROCS when unset.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// withParallelism runs fn under a fixed sweep width and restores the
+// default afterwards.
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	fn()
+}
+
+// TestParallelSweepsMatchSerial asserts the tentpole contract of the
+// parallel sweep engine: because every Run is seeded and owns its
+// scheduler, fanning the sweeps across workers must produce byte-identical
+// rows/points to the serial loop — including the float accumulation order
+// of the per-cell averages.
+func TestParallelSweepsMatchSerial(t *testing.T) {
+	const trials = 2 // >= 2 seeds per cell (trial seeds 1 and 2)
+
+	var serialF4, parallelF4 []Figure4Row
+	var serialT1, parallelT1 []Table1Row
+	withParallelism(t, 1, func() {
+		var err error
+		if serialF4, err = RunFigure4(trials); err != nil {
+			t.Fatal(err)
+		}
+		if serialT1, err = RunTable1(trials); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withParallelism(t, 4, func() {
+		var err error
+		if parallelF4, err = RunFigure4(trials); err != nil {
+			t.Fatal(err)
+		}
+		if parallelT1, err = RunTable1(trials); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serialF4, parallelF4) {
+		t.Errorf("Figure4 rows diverge:\nserial   = %+v\nparallel = %+v", serialF4, parallelF4)
+	}
+	if !reflect.DeepEqual(serialT1, parallelT1) {
+		t.Errorf("Table1 rows diverge:\nserial   = %+v\nparallel = %+v", serialT1, parallelT1)
+	}
+}
+
+// TestParallelFigure5MatchesSerial covers the sweep-point fan-out of
+// RunFigure5 (and, via MaxTrackableSpeed, the per-seed fan) on a reduced
+// two-seed configuration.
+func TestParallelFigure5MatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed scan is slow")
+	}
+	cfg := Figure5Config{
+		Heartbeats:        []float64{0.5},
+		Radii:             []float64{1},
+		Seeds:             []int64{1, 2},
+		IncludeRelinquish: true,
+	}
+	var serial, parallel []Figure5Point
+	withParallelism(t, 1, func() {
+		var err error
+		if serial, err = RunFigure5(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withParallelism(t, 4, func() {
+		var err error
+		if parallel, err = RunFigure5(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Figure5 points diverge:\nserial   = %+v\nparallel = %+v", serial, parallel)
+	}
+}
+
+// TestRunFigure5EmptyHeartbeats pins the descriptive error for a config
+// that bypasses withDefaults' backfill and would previously have panicked
+// on the relinquish index.
+func TestRunFigure5EmptyHeartbeats(t *testing.T) {
+	fn := runFigure5NoDefaults
+	_, err := fn(Figure5Config{Radii: []float64{1}, Seeds: []int64{1}, IncludeRelinquish: true})
+	if err == nil {
+		t.Fatal("expected error for empty heartbeat sweep")
+	}
+	if !strings.Contains(err.Error(), "Heartbeats") {
+		t.Errorf("error %q does not name the empty field", err)
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	SetParallelism(-3)
+	defer SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Errorf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+	SetParallelism(2)
+	if Parallelism() != 2 {
+		t.Errorf("Parallelism() = %d, want 2", Parallelism())
+	}
+}

@@ -1,0 +1,94 @@
+// Package runpar is the parallel sweep engine behind the eval harnesses:
+// a bounded worker pool that fans independent, deterministic simulation
+// runs across CPUs. Each eval.Run owns its scheduler and seeded RNG, so
+// runs may execute concurrently without sharing state; the pool only has
+// to guarantee order-stable result collection and prompt cancellation on
+// the first error, which keeps parallel sweeps bit-identical to serial
+// ones.
+package runpar
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the n results in index order. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 runs inline on the calling
+// goroutine, byte-for-byte the serial loop it replaces.
+//
+// The first error cancels the context handed to the remaining jobs and is
+// returned; results computed by other workers before the failure are
+// discarded. Jobs are claimed from a shared counter, so slow jobs do not
+// stall the pool, and result placement depends only on the job index —
+// never on scheduling order.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The parent context may have been cancelled while workers were
+	// draining; do not hand back a partially filled result slice.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

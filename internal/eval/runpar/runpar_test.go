@@ -1,0 +1,90 @@
+package runpar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderStable(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Map(n=0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Int32
+	_, err := Map(context.Background(), 4, 64, func(ctx context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, fmt.Errorf("job %d: %w", i, boom)
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+		case <-time.After(20 * time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if cancelled.Load() == 0 {
+		t.Error("no job observed cancellation after the first error")
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	_, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 4 {
+		t.Errorf("serial path ran %d jobs after the error, want 4", calls)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 8, func(context.Context, int) (int, error) {
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -7,11 +7,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"envirotrack"
+	"envirotrack/internal/eval/runpar"
 )
 
 // Paper constants: grid spacing is one "hop" = 140 m, so speed conversions
@@ -328,23 +330,41 @@ var speedGrid = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3, 4}
 
 // MaxTrackableSpeed finds the highest speed (hops/s) on the grid at which
 // the scenario remains coherent in a majority of trial seeds. It scans
-// from fast to slow and returns 0 when even the slowest speed fails.
+// from fast to slow and returns 0 when even the slowest speed fails. The
+// per-seed trials of each speed fan across Parallelism() workers; the
+// speed ladder itself stays sequential because each rung's majority vote
+// decides whether the scan stops.
 func MaxTrackableSpeed(base Scenario, seeds []int64) (float64, error) {
+	return maxTrackableSpeed(context.Background(), base, seeds, Parallelism())
+}
+
+// maxTrackableSpeed is MaxTrackableSpeed with explicit context and worker
+// count, so the Figure 5/6 sweeps can parallelize across sweep points and
+// run each point's seed loop inline (workers == 1) without compounding
+// concurrency.
+func maxTrackableSpeed(ctx context.Context, base Scenario, seeds []int64, workers int) (float64, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2}
 	}
 	for i := len(speedGrid) - 1; i >= 0; i-- {
 		speed := speedGrid[i]
+		coherent, err := runpar.Map(ctx, workers, len(seeds),
+			func(_ context.Context, k int) (bool, error) {
+				sc := base
+				sc.SpeedHops = speed
+				sc.Seed = seeds[k]
+				res, err := Run(sc)
+				if err != nil {
+					return false, err
+				}
+				return res.Coherent(), nil
+			})
+		if err != nil {
+			return 0, err
+		}
 		ok := 0
-		for _, seed := range seeds {
-			sc := base
-			sc.SpeedHops = speed
-			sc.Seed = seed
-			res, err := Run(sc)
-			if err != nil {
-				return 0, err
-			}
-			if res.Coherent() {
+		for _, c := range coherent {
+			if c {
 				ok++
 			}
 		}

@@ -1,9 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+
+	"envirotrack/internal/eval/runpar"
 )
 
 // --- Figure 5: effect of timers on maximum trackable speed ---
@@ -69,40 +72,52 @@ func figure5Scenario(hbSec, radius float64, worstCase bool) Scenario {
 
 // RunFigure5 sweeps heartbeat period and sensing radius, measuring the
 // maximum trackable speed in the worst case (takeover-only recovery) and
-// optionally the relinquish reference.
+// optionally the relinquish reference. The sweep points fan across
+// Parallelism() workers; each point's speed scan runs inline on its
+// worker, so the point list is identical to the serial sweep.
 func RunFigure5(cfg Figure5Config) ([]Figure5Point, error) {
-	cfg = cfg.withDefaults()
-	var points []Figure5Point
+	return runFigure5NoDefaults(cfg.withDefaults())
+}
+
+// runFigure5NoDefaults executes the sweep exactly as configured. The
+// heartbeat guard lives here: withDefaults backfills an empty sweep, but
+// the relinquish branch indexes into Heartbeats, so a caller reaching this
+// with an empty slice must get an error, not a panic.
+func runFigure5NoDefaults(cfg Figure5Config) ([]Figure5Point, error) {
+	if len(cfg.Heartbeats) == 0 {
+		return nil, fmt.Errorf("eval: RunFigure5: no heartbeat periods to sweep (Figure5Config.Heartbeats is empty)")
+	}
+	type job struct {
+		hb, radius float64
+		mode       string
+	}
+	var jobs []job
 	for _, radius := range cfg.Radii {
 		for _, hb := range cfg.Heartbeats {
-			speed, err := MaxTrackableSpeed(figure5Scenario(hb, radius, true), cfg.Seeds)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, Figure5Point{
-				HeartbeatSec:  hb,
-				SensingRadius: radius,
-				Mode:          "worst-case",
-				MaxSpeedHops:  speed,
-			})
+			jobs = append(jobs, job{hb: hb, radius: radius, mode: "worst-case"})
 		}
 		if cfg.IncludeRelinquish {
 			// The relinquish line is independent of the heartbeat period;
 			// measure it once per radius at the middle heartbeat.
 			mid := cfg.Heartbeats[len(cfg.Heartbeats)/2]
-			speed, err := MaxTrackableSpeed(figure5Scenario(mid, radius, false), cfg.Seeds)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, Figure5Point{
-				HeartbeatSec:  mid,
-				SensingRadius: radius,
-				Mode:          "relinquish",
-				MaxSpeedHops:  speed,
-			})
+			jobs = append(jobs, job{hb: mid, radius: radius, mode: "relinquish"})
 		}
 	}
-	return points, nil
+	return runpar.Map(context.Background(), Parallelism(), len(jobs),
+		func(ctx context.Context, i int) (Figure5Point, error) {
+			j := jobs[i]
+			sc := figure5Scenario(j.hb, j.radius, j.mode == "worst-case")
+			speed, err := maxTrackableSpeed(ctx, sc, cfg.Seeds, 1)
+			if err != nil {
+				return Figure5Point{}, err
+			}
+			return Figure5Point{
+				HeartbeatSec:  j.hb,
+				SensingRadius: j.radius,
+				Mode:          j.mode,
+				MaxSpeedHops:  speed,
+			}, nil
+		})
 }
 
 // RenderFigure5 prints the curves as a table.
@@ -153,25 +168,30 @@ func (c Figure6Config) withDefaults() Figure6Config {
 // leadership-relinquish optimization enabled (as in the paper). The
 // architecture is expected to break down (speed 0) when CR:SR < 1, since
 // nodes outside the leader's radio range sense the event and form
-// spurious groups.
+// spurious groups. Sweep points fan across Parallelism() workers, like
+// RunFigure5.
 func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 	cfg = cfg.withDefaults()
-	var points []Figure6Point
+	type job struct{ radius, ratio float64 }
+	var jobs []job
 	for _, radius := range cfg.Radii {
 		for _, ratio := range cfg.Ratios {
-			sc := figure6Scenario(radius, ratio)
-			speed, err := MaxTrackableSpeed(sc, cfg.Seeds)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, Figure6Point{
-				Ratio:         ratio,
-				SensingRadius: radius,
-				MaxSpeedHops:  speed,
-			})
+			jobs = append(jobs, job{radius: radius, ratio: ratio})
 		}
 	}
-	return points, nil
+	return runpar.Map(context.Background(), Parallelism(), len(jobs),
+		func(ctx context.Context, i int) (Figure6Point, error) {
+			j := jobs[i]
+			speed, err := maxTrackableSpeed(ctx, figure6Scenario(j.radius, j.ratio), cfg.Seeds, 1)
+			if err != nil {
+				return Figure6Point{}, err
+			}
+			return Figure6Point{
+				Ratio:         j.ratio,
+				SensingRadius: j.radius,
+				MaxSpeedHops:  speed,
+			}, nil
+		})
 }
 
 func figure6Scenario(radius, ratio float64) Scenario {

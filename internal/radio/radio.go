@@ -8,7 +8,9 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -83,15 +85,38 @@ type Receiver func(Frame)
 
 // Medium is the shared channel. It is driven entirely by the simulation
 // scheduler and is not safe for concurrent use.
+//
+// Topology is append-only: nodes register once via AddNode and never
+// move. Spatial queries run against a uniform-grid spatial hash with cell
+// size CommRadius, so resolving the nodes near a point costs O(found)
+// instead of a scan over the whole field.
 type Medium struct {
 	sched  *simtime.Scheduler
 	params Params
 	rng    *rand.Rand
 	stats  *trace.Stats
 
-	nodes     map[NodeID]*nodeState
-	order     []NodeID // deterministic iteration order
+	nodes map[NodeID]*nodeState
+	order []NodeID // deterministic iteration order
+
+	// cells is the spatial hash: nodes bucketed by grid cell of size
+	// cellSize (= CommRadius, or 1 when CommRadius is unset). Entries
+	// carry the position so range filtering never touches the nodes map.
+	cells    map[cellKey][]cellEntry
+	cellSize float64
+	// neighbors caches Neighbors results per node. AddNode invalidates it
+	// granularly: only entries of nodes within CommRadius of the new node
+	// (the only lists the newcomer can appear in) are dropped.
 	neighbors map[NodeID][]NodeID
+}
+
+// cellKey addresses one bucket of the spatial hash.
+type cellKey struct{ x, y int }
+
+// cellEntry is one node in a spatial-hash bucket.
+type cellEntry struct {
+	id  NodeID
+	pos geom.Point
 }
 
 type nodeState struct {
@@ -120,12 +145,20 @@ type transmission struct {
 // New creates a medium on the given scheduler. rng must not be nil; stats
 // may be nil to disable accounting.
 func New(s *simtime.Scheduler, p Params, rng *rand.Rand, stats *trace.Stats) *Medium {
+	p = p.withDefaults()
+	cellSize := p.CommRadius
+	if cellSize <= 0 {
+		cellSize = 1
+	}
 	return &Medium{
-		sched:  s,
-		params: p.withDefaults(),
-		rng:    rng,
-		stats:  stats,
-		nodes:  make(map[NodeID]*nodeState),
+		sched:     s,
+		params:    p,
+		rng:       rng,
+		stats:     stats,
+		nodes:     make(map[NodeID]*nodeState),
+		cells:     make(map[cellKey][]cellEntry),
+		cellSize:  cellSize,
+		neighbors: make(map[NodeID][]NodeID),
 	}
 }
 
@@ -135,7 +168,10 @@ func (m *Medium) Params() Params {
 }
 
 // AddNode registers a stationary node. It returns an error if the id is
-// already present.
+// already present. Registration is the only topology mutation the medium
+// supports (nodes never move or deregister), so it inserts the node into
+// the spatial hash and invalidates exactly the cached neighbor lists the
+// newcomer joins: those of nodes within CommRadius of pos.
 func (m *Medium) AddNode(id NodeID, pos geom.Point, recv Receiver) error {
 	if _, ok := m.nodes[id]; ok {
 		return fmt.Errorf("radio: node %d already registered", id)
@@ -143,8 +179,73 @@ func (m *Medium) AddNode(id NodeID, pos geom.Point, recv Receiver) error {
 	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
 	m.order = append(m.order, id)
 	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
-	m.neighbors = nil // invalidate cache
+	key := m.cellOf(pos)
+	m.cells[key] = append(m.cells[key], cellEntry{id: id, pos: pos})
+	for _, nid := range m.nodesWithin(pos, m.params.CommRadius) {
+		delete(m.neighbors, nid)
+	}
 	return nil
+}
+
+// cellOf maps a position to its spatial-hash bucket.
+func (m *Medium) cellOf(p geom.Point) cellKey {
+	return cellKey{
+		x: int(math.Floor(p.X / m.cellSize)),
+		y: int(math.Floor(p.Y / m.cellSize)),
+	}
+}
+
+// nodesWithin resolves all node ids within radius r of p (inclusive), in
+// ascending id order, by scanning only the spatial-hash cells that
+// intersect the query disk. When the query radius is so large that the
+// cell window exceeds the node count, it falls back to the linear scan,
+// bounding the cost at O(n).
+func (m *Medium) nodesWithin(p geom.Point, r float64) []NodeID {
+	if r < 0 {
+		return nil
+	}
+	x0 := int(math.Floor((p.X - r) / m.cellSize))
+	x1 := int(math.Floor((p.X + r) / m.cellSize))
+	y0 := int(math.Floor((p.Y - r) / m.cellSize))
+	y1 := int(math.Floor((p.Y + r) / m.cellSize))
+	spanX, spanY := x1-x0+1, y1-y0+1
+	if spanX > len(m.order) || spanY > len(m.order) || spanX*spanY > len(m.order) {
+		var out []NodeID
+		for _, id := range m.order {
+			if m.nodes[id].pos.Within(p, r) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	// Gather the candidate buckets first so the result is allocated once,
+	// sized to the candidate count.
+	var bucketArr [16][]cellEntry
+	buckets, total := bucketArr[:0], 0
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if c := m.cells[cellKey{x: x, y: y}]; len(c) > 0 {
+				buckets = append(buckets, c)
+				total += len(c)
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, total)
+	for _, c := range buckets {
+		for _, e := range c {
+			if e.pos.Within(p, r) {
+				out = append(out, e.id)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Position returns a node's location.
@@ -164,11 +265,12 @@ func (m *Medium) NodeIDs() []NodeID {
 }
 
 // Neighbors returns the nodes within communication radius of id, in
-// ascending id order. Results are cached (topology is static).
+// ascending id order. Results are cached; the cache stays correct because
+// the topology only mutates at registration time (AddNode), which drops
+// exactly the cached lists the new node appears in. Resolution goes
+// through the spatial hash, so an uncached lookup costs O(neighbors), not
+// O(total nodes).
 func (m *Medium) Neighbors(id NodeID) []NodeID {
-	if m.neighbors == nil {
-		m.neighbors = make(map[NodeID][]NodeID, len(m.nodes))
-	}
 	if nb, ok := m.neighbors[id]; ok {
 		return nb
 	}
@@ -176,28 +278,25 @@ func (m *Medium) Neighbors(id NodeID) []NodeID {
 	if !ok {
 		return nil
 	}
-	var nb []NodeID
-	for _, other := range m.order {
-		if other == id {
-			continue
-		}
-		if m.nodes[other].pos.Within(n.pos, m.params.CommRadius) {
+	within := m.nodesWithin(n.pos, m.params.CommRadius)
+	nb := within[:0]
+	for _, other := range within {
+		if other != id {
 			nb = append(nb, other)
 		}
+	}
+	if len(nb) == 0 {
+		nb = nil
 	}
 	m.neighbors[id] = nb
 	return nb
 }
 
-// NodesNear returns node ids within radius r of point p, ascending.
+// NodesNear returns node ids within radius r of point p, ascending. It is
+// served by the spatial hash: cost is proportional to the nodes found
+// (plus the cell window), not the field size.
 func (m *Medium) NodesNear(p geom.Point, r float64) []NodeID {
-	var out []NodeID
-	for _, id := range m.order {
-		if m.nodes[id].pos.Within(p, r) {
-			out = append(out, id)
-		}
-	}
-	return out
+	return m.nodesWithin(p, r)
 }
 
 // InRange reports whether b is within communication radius of a.
@@ -285,14 +384,11 @@ func (m *Medium) trySend(f Frame, attempt int) {
 
 	tx := &transmission{}
 	intended := 0
-	for _, id := range m.order {
-		if id == f.Src {
-			continue
-		}
+	// Neighbors is exactly the in-range receiver set in ascending id
+	// order — the same nodes the old full-field scan selected — and it is
+	// cached, so the per-frame cost is O(receivers).
+	for _, id := range m.Neighbors(f.Src) {
 		dst := m.nodes[id]
-		if !dst.pos.Within(src.pos, m.params.CommRadius) {
-			continue
-		}
 		isTarget := f.Dst == Broadcast || f.Dst == id
 		if isTarget {
 			intended++

@@ -1,0 +1,112 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/simtime"
+)
+
+// bruteNeighbors is the reference O(n) scan the spatial hash replaced.
+func bruteNeighbors(pos map[NodeID]geom.Point, self NodeID, r float64) []NodeID {
+	var out []NodeID
+	for id := NodeID(0); int(id) < len(pos); id++ {
+		if id == self {
+			continue
+		}
+		if pos[id].Within(pos[self], r) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// bruteNear is the reference scan for NodesNear.
+func bruteNear(pos map[NodeID]geom.Point, p geom.Point, r float64) []NodeID {
+	var out []NodeID
+	for id := NodeID(0); int(id) < len(pos); id++ {
+		if pos[id].Within(p, r) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpatialHashMatchesBruteForce drops random node layouts onto media
+// with random communication radii and checks that the spatial-hash
+// Neighbors and NodesNear agree with the brute-force scan — including
+// across incremental registration, which exercises the granular cache
+// invalidation (queries are interleaved with AddNode).
+func TestSpatialHashMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		radius := 0.25 + rng.Float64()*4
+		m := New(simtime.NewScheduler(), Params{CommRadius: radius}, rng, nil)
+		n := 3 + rng.Intn(120)
+		pos := make(map[NodeID]geom.Point, n)
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			// Cluster around a few hotspots so cells are unevenly filled;
+			// allow negative coordinates.
+			p := geom.Pt(rng.Float64()*24-8, rng.Float64()*24-8)
+			if err := m.AddNode(id, p, nil); err != nil {
+				t.Fatal(err)
+			}
+			pos[id] = p
+			// Query mid-registration: a stale cached list here means the
+			// invalidation missed a node the newcomer is in range of.
+			probe := NodeID(rng.Intn(i + 1))
+			if !sameIDs(m.Neighbors(probe), bruteNeighbors(pos, probe, radius)) {
+				t.Fatalf("trial %d: Neighbors(%d) diverged from brute force after %d registrations",
+					trial, probe, i+1)
+			}
+		}
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			if got, want := m.Neighbors(id), bruteNeighbors(pos, id, radius); !sameIDs(got, want) {
+				t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, id, got, want)
+			}
+		}
+		for q := 0; q < 40; q++ {
+			p := geom.Pt(rng.Float64()*30-12, rng.Float64()*30-12)
+			r := rng.Float64() * 6
+			if q == 0 {
+				r = 1000 // exercise the large-radius linear fallback
+			}
+			if got, want := m.NodesNear(p, r), bruteNear(pos, p, r); !sameIDs(got, want) {
+				t.Fatalf("trial %d: NodesNear(%v, %.2f) = %v, want %v", trial, p, r, got, want)
+			}
+		}
+	}
+}
+
+// TestNeighborsUnknownNodeNotCached preserves the pre-index contract:
+// querying an unregistered id returns nil and does not poison the cache.
+func TestNeighborsUnknownNodeNotCached(t *testing.T) {
+	m := New(simtime.NewScheduler(), Params{CommRadius: 2}, rand.New(rand.NewSource(1)), nil)
+	if nb := m.Neighbors(7); nb != nil {
+		t.Fatalf("Neighbors of unknown node = %v, want nil", nb)
+	}
+	if err := m.AddNode(7, geom.Pt(0, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode(8, geom.Pt(1, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Neighbors(7); !sameIDs(got, []NodeID{8}) {
+		t.Fatalf("Neighbors(7) = %v, want [8]", got)
+	}
+}
