@@ -19,8 +19,10 @@ vet:
 # bench regenerates every paper table/figure benchmark plus the substrate
 # micro-benchmarks, emitting the machine-readable trajectory the ROADMAP
 # tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded.
+# Numbered snapshots: BENCH_1.json predates the observability layer,
+# BENCH_2.json includes the tracing-overhead benchmark.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_1.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_2.json
 
 clean:
-	rm -f BENCH_1.json
+	rm -f BENCH_1.json BENCH_2.json

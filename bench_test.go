@@ -15,6 +15,7 @@ package envirotrack_test
 //	BenchmarkFigure6   ... speed_ratio3_r2 breakdown_ratio075 ...
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -272,6 +273,40 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		b.ReportMetric(simSeconds/wall, "sim_s_per_wall_s")
 		b.ReportMetric(float64(b.N)/wall, "runs/s")
 	}
+}
+
+// BenchmarkTracingOverhead measures the cost of the observability layer
+// on the Figure 3 scenario (the same workload as
+// BenchmarkSimulationThroughput, whose BENCH_1 numbers predate the event
+// bus): "disabled" is a run with no sink attached — every emission site
+// reduces to one nil check, so its ns/op must stay within 2% of the
+// pre-observability baseline — "jsonl" streams every protocol event
+// through the JSONL exporter, and "metrics" derives histograms and
+// counters from the stream.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Run(eval.Scenario{Seed: int64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			b.ReportMetric(float64(b.N)/wall, "runs/s")
+		}
+	}
+	b.Run("disabled", run)
+	b.Run("jsonl", func(b *testing.B) {
+		sink := envirotrack.NewJSONLSink(io.Discard)
+		eval.SetEventSink(sink)
+		defer eval.SetEventSink(nil)
+		run(b)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		eval.SetMetricsRegistry(envirotrack.NewMetricsRegistry())
+		defer eval.SetMetricsRegistry(nil)
+		run(b)
+	})
 }
 
 // BenchmarkSweepSerialVsParallel times the same Figure 4 sweep through the

@@ -10,90 +10,356 @@
 //	etsim -exp fig6            # max trackable speed vs CR:SR (Figure 6)
 //	etsim -exp all             # everything
 //	etsim -exp all -parallel 8 # same results, sweeps fanned over 8 workers
+//
+// Observability:
+//
+//	etsim -exp fig4 -format json            # machine-readable results
+//	etsim -exp fig4 -progress               # live sweep progress on stderr
+//	etsim -exp fig4 -trace-out trace.jsonl  # structured protocol events
+//	etsim -exp fig4 -metrics-out m.prom     # Prometheus text metrics
+//	etsim -exp fig3 -series-out s.json      # per-run health time series
+//	etsim -exp all -pprof localhost:6060    # live pprof + expvar server
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
+	"envirotrack"
 	"envirotrack/internal/eval"
 )
 
+// config carries the parsed flag set so tests can drive run directly.
+type config struct {
+	exp         string
+	trials      int
+	runs        int
+	seed        int64
+	quick       bool
+	format      string
+	traceOut    string
+	seriesOut   string
+	metricsOut  string
+	seriesEvery time.Duration
+	progress    bool
+	stdout      io.Writer
+	stderr      io.Writer
+}
+
 func main() {
-	var (
-		exp      = flag.String("exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
-		trials   = flag.Int("trials", 3, "trials per Figure 4 cell")
-		runs     = flag.Int("runs", 3, "runs per Table 1 row")
-		seed     = flag.Int64("seed", 1, "seed for Figure 3")
-		quick    = flag.Bool("quick", false, "reduced sweeps for Figures 5 and 6")
-		parallel = flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
-	)
+	var cfg config
+	flag.StringVar(&cfg.exp, "exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
+	flag.IntVar(&cfg.trials, "trials", 3, "trials per Figure 4 cell")
+	flag.IntVar(&cfg.runs, "runs", 3, "runs per Table 1 row")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for Figure 3")
+	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweeps for Figures 5 and 6")
+	flag.StringVar(&cfg.format, "format", "text", "output format: text or json")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write structured protocol events (JSONL) to this file")
+	flag.StringVar(&cfg.seriesOut, "series-out", "", "write per-run health time series (JSON) to this file")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write Prometheus text-format metrics to this file")
+	flag.DurationVar(&cfg.seriesEvery, "series-every", 5*time.Second, "sim-time cadence of -series-out samples")
+	flag.BoolVar(&cfg.progress, "progress", false, "report live sweep progress (done/total, rate, ETA) on stderr")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
-	eval.SetParallelism(*parallel)
-	if err := run(*exp, *trials, *runs, *seed, *quick); err != nil {
+
+	if err := eval.SetParallelism(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "etsim:", err)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "etsim: pprof server:", err)
+			}
+		}()
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "etsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, runs int, seed int64, quick bool) error {
-	all := exp == "all"
-	ran := false
+func run(cfg config) error {
+	if cfg.stdout == nil {
+		cfg.stdout = os.Stdout
+	}
+	if cfg.stderr == nil {
+		cfg.stderr = os.Stderr
+	}
+	jsonOut := false
+	switch cfg.format {
+	case "", "text":
+	case "json":
+		jsonOut = true
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", cfg.format)
+	}
 
-	if all || exp == "fig3" {
-		ran = true
-		res, err := eval.RunFigure3(seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Render())
+	// Attach the requested observability to every eval.Run, and always put
+	// the package-level configuration back so tests (and any embedding
+	// process) do not leak sinks across calls.
+	defer func() {
+		eval.SetEventSink(nil)
+		eval.SetMetricsRegistry(nil)
+		eval.SetSeriesCadence(0)
+		eval.DrainSeries()
+		eval.SetProgressWriter(nil)
+	}()
+	if cfg.progress {
+		eval.SetProgressWriter(cfg.stderr)
 	}
-	if all || exp == "fig4" {
-		ran = true
-		rows, err := eval.RunFigure4(trials)
+	var (
+		traceFile *os.File
+		traceSink *envirotrack.JSONLSink
+	)
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
 		if err != nil {
 			return err
 		}
-		fmt.Println(eval.RenderFigure4(rows))
+		traceFile, traceSink = f, envirotrack.NewJSONLSink(f)
+		eval.SetEventSink(traceSink)
+		defer traceFile.Close()
 	}
-	if all || exp == "table1" {
-		ran = true
-		rows, err := eval.RunTable1(runs)
-		if err != nil {
-			return err
-		}
-		fmt.Println(eval.RenderTable1(rows))
+	var reg *envirotrack.MetricsRegistry
+	if cfg.metricsOut != "" {
+		reg = envirotrack.NewMetricsRegistry()
+		reg.Expvar("envirotrack")
+		eval.SetMetricsRegistry(reg)
 	}
-	if all || exp == "fig5" {
-		ran = true
-		cfg := eval.Figure5Config{IncludeRelinquish: true}
-		if quick {
-			cfg.Heartbeats = []float64{0.0625, 0.5, 2}
-			cfg.Seeds = []int64{1}
+	if cfg.seriesOut != "" {
+		every := cfg.seriesEvery
+		if every <= 0 {
+			every = 5 * time.Second
 		}
-		points, err := eval.RunFigure5(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(eval.RenderFigure5(points))
+		eval.SetSeriesCadence(every)
 	}
-	if all || exp == "fig6" {
+
+	all := cfg.exp == "all"
+	ran := false
+	results := map[string]any{}
+
+	if all || cfg.exp == "fig3" {
 		ran = true
-		cfg := eval.Figure6Config{}
-		if quick {
-			cfg.Ratios = []float64{0.75, 1.5, 3}
-			cfg.Radii = []float64{1, 2}
-			cfg.Seeds = []int64{1}
-		}
-		points, err := eval.RunFigure6(cfg)
+		res, err := eval.RunFigure3(cfg.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(eval.RenderFigure6(points))
+		if jsonOut {
+			results["fig3"] = fig3View(res)
+		} else {
+			fmt.Fprintln(cfg.stdout, res.Render())
+		}
+	}
+	if all || cfg.exp == "fig4" {
+		ran = true
+		rows, err := eval.RunFigure4(cfg.trials)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			results["fig4"] = fig4View(rows)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderFigure4(rows))
+		}
+	}
+	if all || cfg.exp == "table1" {
+		ran = true
+		rows, err := eval.RunTable1(cfg.runs)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			results["table1"] = table1View(rows)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderTable1(rows))
+		}
+	}
+	if all || cfg.exp == "fig5" {
+		ran = true
+		f5 := eval.Figure5Config{IncludeRelinquish: true}
+		if cfg.quick {
+			f5.Heartbeats = []float64{0.0625, 0.5, 2}
+			f5.Seeds = []int64{1}
+		}
+		points, err := eval.RunFigure5(f5)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			results["fig5"] = fig5View(points)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderFigure5(points))
+		}
+	}
+	if all || cfg.exp == "fig6" {
+		ran = true
+		f6 := eval.Figure6Config{}
+		if cfg.quick {
+			f6.Ratios = []float64{0.75, 1.5, 3}
+			f6.Radii = []float64{1, 2}
+			f6.Seeds = []int64{1}
+		}
+		points, err := eval.RunFigure6(f6)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			results["fig6"] = fig6View(points)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderFigure6(points))
+		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, all)", cfg.exp)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(cfg.stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("flush %s: %w", cfg.traceOut, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", cfg.traceOut, err)
+		}
+	}
+	if cfg.seriesOut != "" {
+		if err := writeSeries(cfg.seriesOut); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		if err := writeMetrics(reg, cfg.metricsOut); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeSeries drains the health series collected during the experiments
+// and writes them as a JSON array tagged with each run's seed and speed.
+func writeSeries(path string) error {
+	type tagged struct {
+		Seed      int64               `json:"seed"`
+		SpeedHops float64             `json:"speed_hops"`
+		Series    *envirotrack.Series `json:"series"`
+	}
+	collected := eval.DrainSeries()
+	out := make([]tagged, 0, len(collected))
+	for _, ts := range collected {
+		out = append(out, tagged{Seed: ts.Seed, SpeedHops: ts.SpeedHops, Series: ts.Series})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMetrics renders the registry in Prometheus text format.
+func writeMetrics(reg *envirotrack.MetricsRegistry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// --- JSON views: stable lower-case keys, seconds instead of durations ---
+
+func fig3View(res eval.Figure3Result) any {
+	type point struct {
+		T     float64 `json:"t_s"`
+		XTrue float64 `json:"x_true"`
+		YTrue float64 `json:"y_true"`
+		XEst  float64 `json:"x_est"`
+		YEst  float64 `json:"y_est"`
+	}
+	points := make([]point, 0, len(res.Run.Track.Points))
+	for _, p := range res.Run.Track.Points {
+		points = append(points, point{
+			T:     p.At.Seconds(),
+			XTrue: p.Actual.X, YTrue: p.Actual.Y,
+			XEst: p.Reported.X, YEst: p.Reported.Y,
+		})
+	}
+	return struct {
+		MeanError float64 `json:"mean_error"`
+		MaxError  float64 `json:"max_error"`
+		Labels    int     `json:"labels"`
+		Points    []point `json:"points"`
+	}{res.MeanError, res.MaxError, res.Run.Labels, points}
+}
+
+func fig4View(rows []eval.Figure4Row) any {
+	type row struct {
+		SpeedKmh   float64 `json:"speed_kmh"`
+		HopsPast   int     `json:"hops_past"`
+		SuccessPct float64 `json:"success_pct"`
+		Trials     int     `json:"trials"`
+	}
+	out := make([]row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, row{r.SpeedKmh, r.HopsPast, r.SuccessPct, r.Trials})
+	}
+	return out
+}
+
+func table1View(rows []eval.Table1Row) any {
+	type row struct {
+		SpeedKmh    float64 `json:"speed_kmh"`
+		HBLossPct   float64 `json:"hb_loss_pct"`
+		MsgLossPct  float64 `json:"msg_loss_pct"`
+		LinkUtilPct float64 `json:"link_util_pct"`
+		Runs        int     `json:"runs"`
+	}
+	out := make([]row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, row{r.SpeedKmh, r.HBLossPct, r.MsgLossPct, r.LinkUtilPct, r.Runs})
+	}
+	return out
+}
+
+func fig5View(points []eval.Figure5Point) any {
+	type point struct {
+		HeartbeatS    float64 `json:"heartbeat_s"`
+		SensingRadius float64 `json:"sensing_radius"`
+		Mode          string  `json:"mode"`
+		MaxSpeedHops  float64 `json:"max_speed_hops"`
+	}
+	out := make([]point, 0, len(points))
+	for _, p := range points {
+		out = append(out, point{p.HeartbeatSec, p.SensingRadius, p.Mode, p.MaxSpeedHops})
+	}
+	return out
+}
+
+func fig6View(points []eval.Figure6Point) any {
+	type point struct {
+		Ratio         float64 `json:"ratio"`
+		SensingRadius float64 `json:"sensing_radius"`
+		MaxSpeedHops  float64 `json:"max_speed_hops"`
+	}
+	out := make([]point, 0, len(points))
+	for _, p := range points {
+		out = append(out, point{p.Ratio, p.SensingRadius, p.MaxSpeedHops})
+	}
+	return out
 }

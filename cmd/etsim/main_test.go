@@ -1,28 +1,168 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"envirotrack/internal/eval"
 )
 
 func TestRunFig3(t *testing.T) {
-	if err := run("fig3", 1, 1, 1, true); err != nil {
+	var out bytes.Buffer
+	if err := run(config{exp: "fig3", seed: 1, quick: true, stdout: &out}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Error("text output missing Figure 3 header")
 	}
 }
 
 // TestRunFig4Parallel drives an experiment the way `-parallel 2` would.
 func TestRunFig4Parallel(t *testing.T) {
-	eval.SetParallelism(2)
+	if err := eval.SetParallelism(2); err != nil {
+		t.Fatal(err)
+	}
 	defer eval.SetParallelism(0)
-	if err := run("fig4", 1, 1, 1, true); err != nil {
+	if err := run(config{exp: "fig4", trials: 1, quick: true, stdout: new(bytes.Buffer)}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, 1, true); err == nil {
+	if err := run(config{exp: "fig99", stdout: new(bytes.Buffer)}); err == nil {
 		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	if err := run(config{exp: "fig3", format: "yaml", stdout: new(bytes.Buffer)}); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}
+
+// TestRunJSONFormat checks every experiment renders machine-readable
+// output: one top-level object keyed by experiment name.
+func TestRunJSONFormat(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{
+		exp: "fig3", trials: 1, runs: 1, seed: 1, quick: true,
+		format: "json", stdout: &out,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	var fig3 struct {
+		MeanError float64 `json:"mean_error"`
+		Points    []struct {
+			T float64 `json:"t_s"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(doc["fig3"], &fig3); err != nil {
+		t.Fatalf("fig3 payload: %v", err)
+	}
+	if len(fig3.Points) == 0 {
+		t.Error("fig3 JSON has no trajectory points")
+	}
+
+	out.Reset()
+	cfg.exp = "fig4"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc4 struct {
+		Fig4 []struct {
+			SpeedKmh   float64 `json:"speed_kmh"`
+			SuccessPct float64 `json:"success_pct"`
+		} `json:"fig4"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc4); err != nil {
+		t.Fatalf("fig4 output: %v\n%s", err, out.String())
+	}
+	if len(doc4.Fig4) != 4 {
+		t.Errorf("fig4 JSON has %d rows, want 4", len(doc4.Fig4))
+	}
+}
+
+// TestRunObservabilityOutputs drives -trace-out, -metrics-out and
+// -series-out together and validates each artifact parses.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		exp: "fig3", seed: 1, quick: true,
+		traceOut:   filepath.Join(dir, "trace.jsonl"),
+		metricsOut: filepath.Join(dir, "metrics.prom"),
+		seriesOut:  filepath.Join(dir, "series.json"),
+		stdout:     new(bytes.Buffer),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := os.Open(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trace.Close()
+	lines := 0
+	sc := bufio.NewScanner(trace)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", lines+1, err)
+		}
+		if _, ok := ev["ev"]; !ok {
+			t.Fatalf("trace line %d has no event type: %s", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("trace file is empty")
+	}
+
+	prom, err := os.ReadFile(cfg.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE envirotrack_events_total counter", "eval_runs_total 1"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics file missing %q:\n%s", want, prom)
+		}
+	}
+
+	seriesData, err := os.ReadFile(cfg.seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []struct {
+		Seed   int64 `json:"seed"`
+		Series struct {
+			T    []float64            `json:"t"`
+			Cols map[string][]float64 `json:"cols"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(seriesData, &series); err != nil {
+		t.Fatalf("series file is not JSON: %v", err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series file has %d runs, want 1", len(series))
+	}
+	if len(series[0].Series.T) < 2 {
+		t.Error("series has fewer than 2 samples")
+	}
+	if _, ok := series[0].Series.Cols["live_labels"]; !ok {
+		t.Error("series missing live_labels column")
 	}
 }

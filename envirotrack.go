@@ -34,11 +34,14 @@
 package envirotrack
 
 import (
+	"io"
+
 	"envirotrack/internal/aggregate"
 	"envirotrack/internal/core"
 	"envirotrack/internal/directory"
 	"envirotrack/internal/geom"
 	"envirotrack/internal/group"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/sensor"
@@ -202,3 +205,53 @@ type (
 	// Trajectory records actual-vs-reported target tracks.
 	TrackLog = trace.Trajectory
 )
+
+// Observability. (The name Event is taken by the session API, so the
+// structured trace record is exported as TraceEvent.)
+type (
+	// EventBus fans structured protocol events out to sinks; attach one
+	// with WithEventBus.
+	EventBus = obs.Bus
+	// EventSink consumes structured events.
+	EventSink = obs.Sink
+	// TraceEvent is one structured protocol observation.
+	TraceEvent = obs.Event
+	// TraceEventType classifies a TraceEvent.
+	TraceEventType = obs.EventType
+	// MetricsRegistry holds counters, gauges, and histograms with
+	// Prometheus text-format and expvar exposition.
+	MetricsRegistry = obs.Registry
+	// Series is a columnar sim-time series produced by StartSeries.
+	Series = obs.Series
+	// SeriesProbe adds a custom column to StartSeries.
+	SeriesProbe = obs.Probe
+	// JSONLSink streams events as JSON lines.
+	JSONLSink = obs.JSONLSink
+	// RingSink retains the last N events for post-mortem dumps.
+	RingSink = obs.RingSink
+	// CounterSink tallies events by type.
+	CounterSink = obs.CounterSink
+	// MetricsSink derives handover-latency and leader-tenure histograms
+	// (and per-type event counts) from the event stream.
+	MetricsSink = obs.MetricsSink
+)
+
+// NewEventBus builds an event bus over the given sinks; pass it to a
+// network via WithEventBus. A bus with no sinks is inactive and free.
+func NewEventBus(sinks ...EventSink) *EventBus { return obs.NewBus(sinks...) }
+
+// NewJSONLSink streams events to w as JSON lines; call Flush when done.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewRingSink retains the last capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewCounterSink tallies events by type.
+func NewCounterSink() *CounterSink { return obs.NewCounterSink() }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsSink registers protocol metrics on reg and returns the sink
+// feeding them.
+func NewMetricsSink(reg *MetricsRegistry) *MetricsSink { return obs.NewMetricsSink(reg) }

@@ -15,6 +15,7 @@ import (
 	"envirotrack/internal/geom"
 	"envirotrack/internal/group"
 	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/routing"
 	"envirotrack/internal/trace"
@@ -289,6 +290,7 @@ func (s *Service) store(e Entry) {
 		return // out-of-order refresh
 	}
 	byLabel[e.Label] = e
+	s.emit(obs.EvDirectoryUpdated, e.CtxType, string(e.Label), int(e.Leader), "register")
 }
 
 func (s *Service) remove(p unregisterMsg) {
@@ -305,10 +307,12 @@ func (s *Service) remove(p unregisterMsg) {
 	if ts, ok := byLabel[p.Label]; !ok || ts < p.At {
 		byLabel[p.Label] = p.At
 	}
+	s.emit(obs.EvDirectoryUpdated, p.CtxType, string(p.Label), -1, "unregister")
 }
 
 func (s *Service) answer(q queryMsg) {
 	entries := s.freshEntries(q.CtxType)
+	s.emit(obs.EvDirectoryQuery, q.CtxType, "", int(q.ReplyNode), "")
 	s.router.Send(routing.Message{
 		Kind:     trace.KindDirectory,
 		Dest:     q.ReplyTo,
@@ -316,6 +320,24 @@ func (s *Service) answer(q queryMsg) {
 		Bits:     s.cfg.MessageBits + 32*len(entries),
 		Payload:  replyMsg{QueryID: q.QueryID, Entries: entries},
 	})
+}
+
+// emit publishes one directory event: peer is the registering leader, the
+// querying node, or -1 for an unregister; cause says which mutation it was.
+func (s *Service) emit(ev obs.EventType, ctxType, label string, peer int, cause string) {
+	if bus := s.m.Obs(); bus.Active() {
+		bus.Emit(obs.Event{
+			At:      s.m.Scheduler().Now(),
+			Type:    ev,
+			Mote:    int(s.m.ID()),
+			Peer:    peer,
+			Label:   label,
+			CtxType: ctxType,
+			Pos:     s.m.Pos(),
+			Kind:    trace.KindDirectory,
+			Cause:   cause,
+		})
+	}
 }
 
 // freshEntries returns unexpired entries for the type, pruning stale ones.

@@ -88,7 +88,7 @@ func RunFigure4(trials int) ([]Figure4Row, error) {
 		kmh float64
 	}
 	cells := []cell{{1, 33}, {1, 50}, {0, 33}, {0, 50}}
-	rates, err := runpar.Map(context.Background(), Parallelism(), len(cells)*trials,
+	rates, err := runpar.Map(sweepContext("fig4", "runs"), Parallelism(), len(cells)*trials,
 		func(_ context.Context, i int) (float64, error) {
 			c := cells[i/trials]
 			res, err := Run(figure4Scenario(c.kmh, c.h, int64(i%trials+1)))
@@ -176,7 +176,7 @@ func RunTable1(runs int) ([]Table1Row, error) {
 	}
 	speeds := []float64{33, 50}
 	type sample struct{ hb, msg, util float64 }
-	samples, err := runpar.Map(context.Background(), Parallelism(), len(speeds)*runs,
+	samples, err := runpar.Map(sweepContext("table1", "runs"), Parallelism(), len(speeds)*runs,
 		func(_ context.Context, i int) (sample, error) {
 			res, err := Run(figure4Scenario(speeds[i/runs], 1, int64(100+i%runs)))
 			if err != nil {

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"sync"
+	"time"
+
+	"envirotrack"
+	"envirotrack/internal/obs"
+)
+
+// obsCfg is the package-level observability configuration applied to every
+// Run. Like SetParallelism, it is process-wide so the CLI and benchmarks
+// can switch tracing on without threading options through every harness.
+// The sinks in this package's scope are all safe for concurrent use, so a
+// parallel sweep can share one sink; each run's bus tags events with the
+// scenario seed for post-hoc separation.
+var obsCfg struct {
+	mu      sync.Mutex
+	sink    obs.Sink
+	metrics *obs.MetricsSink
+	cadence time.Duration
+	series  []TaggedSeries
+	runs    *obs.Counter // optional runs-completed counter
+}
+
+// SetEventSink attaches a sink to every subsequent Run's event bus; nil
+// detaches it. The sink must be safe for concurrent use when sweeps run
+// in parallel (every sink in internal/obs is).
+func SetEventSink(s obs.Sink) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.sink = s
+}
+
+// SetMetricsRegistry derives protocol metrics (per-type event counts,
+// handover-latency and leader-tenure histograms) from every subsequent
+// Run into reg; nil disables. It also registers an eval_runs_total
+// counter tracking completed runs.
+func SetMetricsRegistry(reg *obs.Registry) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if reg == nil {
+		obsCfg.metrics = nil
+		obsCfg.runs = nil
+		return
+	}
+	obsCfg.metrics = obs.NewMetricsSink(reg)
+	obsCfg.runs = reg.Counter("eval_runs_total", "Simulation runs completed.")
+}
+
+// SetSeriesCadence makes every subsequent Run sample a health time series
+// on the given sim-time cadence, collected via DrainSeries; 0 disables.
+func SetSeriesCadence(d time.Duration) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.cadence = d
+}
+
+// TaggedSeries is one run's health series, tagged for identification
+// within a sweep.
+type TaggedSeries struct {
+	Seed      int64
+	SpeedHops float64
+	Series    *envirotrack.Series
+}
+
+// DrainSeries returns the series collected since the last drain and
+// clears the buffer.
+func DrainSeries() []TaggedSeries {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	out := obsCfg.series
+	obsCfg.series = nil
+	return out
+}
+
+// observeRun resolves the configured observability for one scenario:
+// extra network options and a completion hook (both possibly nil/empty).
+func observeRun(sc Scenario) (opts []envirotrack.Option, onNet func(*envirotrack.Network), done func()) {
+	obsCfg.mu.Lock()
+	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
+	obsCfg.mu.Unlock()
+
+	var sinks []obs.Sink
+	if sink != nil {
+		sinks = append(sinks, sink)
+	}
+	if metrics != nil {
+		sinks = append(sinks, metrics)
+	}
+	if len(sinks) > 0 {
+		bus := obs.NewBus(sinks...)
+		bus.SetRun(sc.Seed)
+		opts = append(opts, envirotrack.WithEventBus(bus))
+	}
+	if cadence > 0 {
+		onNet = func(net *envirotrack.Network) {
+			series := net.StartSeries(cadence)
+			obsCfg.mu.Lock()
+			obsCfg.series = append(obsCfg.series, TaggedSeries{
+				Seed: sc.Seed, SpeedHops: sc.SpeedHops, Series: series,
+			})
+			obsCfg.mu.Unlock()
+		}
+	}
+	if runs != nil {
+		done = runs.Inc
+	}
+	return opts, onNet, done
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 )
@@ -13,14 +14,18 @@ var parallelism atomic.Int32
 
 // SetParallelism bounds how many simulation runs the sweep harnesses
 // (RunFigure4/5/6, RunTable1, MaxTrackableSpeed) execute concurrently.
-// n <= 0 restores the default of one worker per CPU; n == 1 forces the
-// serial path. Every run is seeded and owns its scheduler, so results are
-// identical at any setting — only wall-clock time changes.
-func SetParallelism(n int) {
+// n == 0 restores the default of one worker per CPU; n == 1 forces the
+// serial path. Negative values are rejected — a negative width is always
+// a caller bug (a bad -parallel flag), and silently treating it as "use
+// every CPU" misconfigures the pool the caller meant to bound. Every run
+// is seeded and owns its scheduler, so results are identical at any
+// setting — only wall-clock time changes.
+func SetParallelism(n int) error {
 	if n < 0 {
-		n = 0
+		return fmt.Errorf("eval: parallelism must be >= 0 (got %d); 0 means one worker per CPU", n)
 	}
 	parallelism.Store(int32(n))
+	return nil
 }
 
 // Parallelism returns the effective sweep width: the value configured via

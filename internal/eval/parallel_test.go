@@ -1,16 +1,21 @@
 package eval
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
+
+	"envirotrack/internal/obs"
 )
 
 // withParallelism runs fn under a fixed sweep width and restores the
 // default afterwards.
 func withParallelism(t *testing.T, n int, fn func()) {
 	t.Helper()
-	SetParallelism(n)
+	if err := SetParallelism(n); err != nil {
+		t.Fatal(err)
+	}
 	defer SetParallelism(0)
 	fn()
 }
@@ -22,6 +27,14 @@ func withParallelism(t *testing.T, n int, fn func()) {
 // of the per-cell averages.
 func TestParallelSweepsMatchSerial(t *testing.T) {
 	const trials = 2 // >= 2 seeds per cell (trial seeds 1 and 2)
+
+	// Run the whole comparison with a JSONL exporter attached: tracing is
+	// observation-only, so it must not perturb the seeded runs on either
+	// the serial or the parallel path.
+	var traced bytes.Buffer
+	sink := obs.NewJSONLSink(&traced)
+	SetEventSink(sink)
+	defer SetEventSink(nil)
 
 	var serialF4, parallelF4 []Figure4Row
 	var serialT1, parallelT1 []Table1Row
@@ -48,6 +61,12 @@ func TestParallelSweepsMatchSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serialT1, parallelT1) {
 		t.Errorf("Table1 rows diverge:\nserial   = %+v\nparallel = %+v", serialT1, parallelT1)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Len() == 0 {
+		t.Error("JSONL sink saw no events during the sweeps")
 	}
 }
 
@@ -96,14 +115,25 @@ func TestRunFigure5EmptyHeartbeats(t *testing.T) {
 	}
 }
 
-func TestSetParallelismClamps(t *testing.T) {
-	SetParallelism(-3)
+func TestSetParallelismRejectsNegative(t *testing.T) {
 	defer SetParallelism(0)
-	if Parallelism() < 1 {
-		t.Errorf("Parallelism() = %d, want >= 1", Parallelism())
+	if err := SetParallelism(2); err != nil {
+		t.Fatalf("SetParallelism(2) = %v, want nil", err)
 	}
-	SetParallelism(2)
+	err := SetParallelism(-3)
+	if err == nil {
+		t.Fatal("SetParallelism(-3) = nil, want error")
+	}
+	if !strings.Contains(err.Error(), "-3") {
+		t.Errorf("error %q does not name the bad value", err)
+	}
 	if Parallelism() != 2 {
-		t.Errorf("Parallelism() = %d, want 2", Parallelism())
+		t.Errorf("Parallelism() = %d after rejected call, want 2 (unchanged)", Parallelism())
+	}
+	if err := SetParallelism(0); err != nil {
+		t.Fatalf("SetParallelism(0) = %v, want nil", err)
+	}
+	if Parallelism() < 1 {
+		t.Errorf("Parallelism() = %d with default width, want >= 1", Parallelism())
 	}
 }

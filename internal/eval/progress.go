@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"envirotrack/internal/eval/runpar"
+)
+
+// progressCfg holds the sweep progress destination (nil = disabled) and
+// an overridable clock for tests.
+var progressCfg = struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}{now: time.Now}
+
+// SetProgressWriter makes every sweep harness (RunFigure4/5/6, RunTable1)
+// report live progress — jobs completed/total, rate, ETA — to w,
+// overwriting one line per update (pass os.Stderr for a terminal). nil
+// disables reporting.
+func SetProgressWriter(w io.Writer) {
+	progressCfg.mu.Lock()
+	defer progressCfg.mu.Unlock()
+	progressCfg.w = w
+}
+
+// sweepContext returns the context a sweep harness should hand to
+// runpar.Map: background, plus a live progress reporter when one is
+// configured. name labels the sweep; unit is what one job is ("runs",
+// "points").
+func sweepContext(name, unit string) context.Context {
+	progressCfg.mu.Lock()
+	w, now := progressCfg.w, progressCfg.now
+	progressCfg.mu.Unlock()
+	if w == nil {
+		return context.Background()
+	}
+	// The sweep starts as soon as the harness hands this context to
+	// runpar.Map, so anchor the rate/ETA clock here — anchoring on the
+	// first completion would make the first rate estimate meaningless.
+	var mu sync.Mutex
+	start := now()
+	return runpar.WithProgress(context.Background(), func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		elapsed := now().Sub(start).Seconds()
+		rate := float64(done) / elapsed
+		line := fmt.Sprintf("\r%s: %d/%d %s", name, done, total, unit)
+		if elapsed > 0 && rate > 0 {
+			eta := float64(total-done) / rate
+			line += fmt.Sprintf(" (%.1f %s/s, ETA %.0fs)", rate, unit, eta)
+		}
+		if done == total {
+			line += " \n"
+		}
+		fmt.Fprint(w, line)
+	})
+}

@@ -14,6 +14,25 @@ import (
 	"sync/atomic"
 )
 
+// progressKey carries a completion callback through the context to Map.
+type progressKey struct{}
+
+// WithProgress returns a context that makes Map report completions:
+// fn(done, total) runs after every successfully finished job, possibly
+// from multiple goroutines at once, so fn must be safe for concurrent
+// use. The callback applies only to the outermost Map call — Map strips
+// it from the context it hands to jobs, so nested sweeps (a per-point
+// speed scan inside a figure sweep) do not corrupt the outer totals.
+func WithProgress(ctx context.Context, fn func(done, total int)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the WithProgress callback, if any.
+func progressFrom(ctx context.Context) func(done, total int) {
+	fn, _ := ctx.Value(progressKey{}).(func(done, total int))
+	return fn
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
 // and returns the n results in index order. workers <= 0 selects
 // runtime.GOMAXPROCS(0); workers == 1 runs inline on the calling
@@ -34,23 +53,42 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	progress := progressFrom(ctx)
+	jobCtx := ctx
+	if progress != nil {
+		// Detach the callback from the jobs' context: a nested Map (e.g.
+		// the per-point speed scan inside a figure sweep) must not report
+		// its own completions against this call's total.
+		jobCtx = WithProgress(ctx, nil)
+	}
+	var completed atomic.Int64
+	report := func() {
+		if progress != nil {
+			progress(int(completed.Add(1)), n)
+		}
+	}
 	results := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(ctx, i)
+			r, err := fn(jobCtx, i)
 			if err != nil {
 				return nil, err
 			}
 			results[i] = r
+			report()
 		}
 		return results, nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	jobCtx = ctx
+	if progress != nil {
+		jobCtx = WithProgress(ctx, nil)
+	}
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
@@ -72,12 +110,13 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, i)
+				r, err := fn(jobCtx, i)
 				if err != nil {
 					fail(err)
 					return
 				}
 				results[i] = r
+				report()
 			}
 		}()
 	}

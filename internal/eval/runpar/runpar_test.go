@@ -88,3 +88,100 @@ func TestMapParentCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestMapReportsProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var (
+			calls    atomic.Int32
+			maxDone  atomic.Int32
+			badTotal atomic.Int32
+		)
+		ctx := WithProgress(context.Background(), func(done, total int) {
+			calls.Add(1)
+			if total != 12 {
+				badTotal.Add(1)
+			}
+			for {
+				cur := maxDone.Load()
+				if int32(done) <= cur || maxDone.CompareAndSwap(cur, int32(done)) {
+					break
+				}
+			}
+		})
+		_, err := Map(ctx, workers, 12, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != 12 {
+			t.Errorf("workers=%d: %d progress calls, want 12", workers, calls.Load())
+		}
+		if maxDone.Load() != 12 {
+			t.Errorf("workers=%d: max done = %d, want 12", workers, maxDone.Load())
+		}
+		if badTotal.Load() != 0 {
+			t.Errorf("workers=%d: %d calls saw total != 12", workers, badTotal.Load())
+		}
+	}
+}
+
+// TestMapStripsProgressFromNestedCalls pins the guard that keeps a nested
+// Map (the per-point speed scan inside a figure sweep) from reporting its
+// own completions against the outer sweep's total.
+func TestMapStripsProgressFromNestedCalls(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var calls atomic.Int32
+		ctx := WithProgress(context.Background(), func(done, total int) {
+			calls.Add(1)
+			if total != 3 {
+				t.Errorf("workers=%d: progress saw total %d, want outer total 3", workers, total)
+			}
+		})
+		_, err := Map(ctx, workers, 3, func(inner context.Context, i int) (int, error) {
+			// Each outer job runs a nested sweep; its completions must not
+			// reach the outer callback.
+			_, err := Map(inner, workers, 5, func(_ context.Context, j int) (int, error) {
+				return j, nil
+			})
+			return i, err
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != 3 {
+			t.Errorf("workers=%d: %d progress calls, want 3 (outer jobs only)", workers, calls.Load())
+		}
+	}
+}
+
+// TestMapNestedJobsObserveCancellation ensures stripping the progress
+// callback does not detach jobs from the pool's cancellation: the context
+// handed to fn must still be derived from the cancellable one.
+func TestMapNestedJobsObserveCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	var sawCancel atomic.Int32
+	started := make(chan struct{}, 32)
+	ctx := WithProgress(context.Background(), func(done, total int) {})
+	_, err := Map(ctx, 4, 32, func(jobCtx context.Context, i int) (int, error) {
+		if i == 0 {
+			// Fail only once another job is parked in its select, so the
+			// cancellation has a live observer.
+			<-started
+			return 0, boom
+		}
+		started <- struct{}{}
+		select {
+		case <-jobCtx.Done():
+			sawCancel.Add(1)
+		case <-time.After(time.Second):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if sawCancel.Load() == 0 {
+		t.Error("no job observed cancellation through the progress-stripped context")
+	}
+}

@@ -170,9 +170,14 @@ func Run(sc Scenario) (RunResult, error) {
 	if sc.SensePeriod > 0 {
 		opts = append(opts, envirotrack.WithSensePeriod(sc.SensePeriod))
 	}
+	obsOpts, onNet, obsDone := observeRun(sc)
+	opts = append(opts, obsOpts...)
 	net, err := envirotrack.New(opts...)
 	if err != nil {
 		return RunResult{}, err
+	}
+	if onNet != nil {
+		onNet(net)
 	}
 
 	target := &envirotrack.Target{
@@ -229,6 +234,9 @@ func Run(sc Scenario) (RunResult, error) {
 		Labels:   net.Ledger().DistinctLabels("tracker"),
 	}
 	res.TrackedOK = coveredAtEnd(net, target, sc)
+	if obsDone != nil {
+		obsDone()
+	}
 	return res, nil
 }
 

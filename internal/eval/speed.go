@@ -103,7 +103,7 @@ func runFigure5NoDefaults(cfg Figure5Config) ([]Figure5Point, error) {
 			jobs = append(jobs, job{hb: mid, radius: radius, mode: "relinquish"})
 		}
 	}
-	return runpar.Map(context.Background(), Parallelism(), len(jobs),
+	return runpar.Map(sweepContext("fig5", "points"), Parallelism(), len(jobs),
 		func(ctx context.Context, i int) (Figure5Point, error) {
 			j := jobs[i]
 			sc := figure5Scenario(j.hb, j.radius, j.mode == "worst-case")
@@ -179,7 +179,7 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Point, error) {
 			jobs = append(jobs, job{radius: radius, ratio: ratio})
 		}
 	}
-	return runpar.Map(context.Background(), Parallelism(), len(jobs),
+	return runpar.Map(sweepContext("fig6", "points"), Parallelism(), len(jobs),
 		func(ctx context.Context, i int) (Figure6Point, error) {
 			j := jobs[i]
 			speed, err := maxTrackableSpeed(ctx, figure6Scenario(j.radius, j.ratio), cfg.Seeds, 1)

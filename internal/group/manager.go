@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
@@ -253,14 +254,17 @@ func (g *Manager) sendHeartbeat() {
 		State:     g.state,
 	}
 	g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(g.state)*8, hb)
+	g.emit(obs.EvHeartbeatSent, g.label, radio.Broadcast, g.hbSeq)
 }
 
 // leaderStepDown handles a leader that stopped sensing: explicit
 // relinquish when enabled, silent departure otherwise.
 func (g *Manager) leaderStepDown() {
 	label, weight, state := g.label, g.weight, g.state
+	successor := radio.Broadcast
 	if !g.cfg.DisableRelinquish {
-		if successor, ok := g.pickSuccessor(); ok {
+		if s, ok := g.pickSuccessor(); ok {
+			successor = s
 			g.m.Broadcast(trace.KindRelinquish, g.cfg.HeartbeatBits+len(state)*8, Relinquish{
 				CtxType:   g.ctxType,
 				Label:     label,
@@ -271,6 +275,7 @@ func (g *Manager) leaderStepDown() {
 			})
 		}
 	}
+	g.emit(obs.EvLeaderStepDown, label, successor, 0)
 	g.loseLeadership()
 	// Remember the label so that re-sensing rejoins rather than respawns.
 	g.rememberLabel(label, radio.Broadcast, weight, state)
@@ -336,6 +341,7 @@ func (g *Manager) becomeMember(label Label, leader radio.NodeID, weight uint64, 
 	g.leaderID = leader
 	g.lastWeight = weight
 	g.lastState = state
+	g.emit(obs.EvLabelJoined, label, leader, 0)
 	g.armReceiveTimer()
 	g.startReporting()
 }
@@ -350,6 +356,7 @@ func (g *Manager) onReceiveTimeout() {
 	if g.m.Failed() || g.role != RoleMember {
 		return
 	}
+	g.emit(obs.EvReceiveTimerFired, g.label, g.leaderID, 0)
 	label, weight, state := g.label, g.lastWeight, g.lastState
 	if !g.sensing {
 		g.leaveMembership()
@@ -414,6 +421,7 @@ func (g *Manager) stopMemberDuties() {
 
 // rememberLabel stores wait-timer memory of a nearby label.
 func (g *Manager) rememberLabel(label Label, leader radio.NodeID, weight uint64, state []byte) {
+	g.emit(obs.EvWaitTimerArmed, label, leader, 0)
 	g.waitLabel = label
 	g.waitLeader = leader
 	g.waitWeight = weight
@@ -505,10 +513,15 @@ func (g *Manager) forwardHeartbeat(key string, hb Heartbeat) {
 	delay := time.Duration(g.m.Rand().Float64() * float64(g.cfg.FloodJitter))
 	pf.timer = g.m.Scheduler().After(delay, func() {
 		delete(g.pendingFwds, key)
-		if g.m.Failed() || pf.dups >= g.cfg.FloodSuppress {
+		if g.m.Failed() {
+			return
+		}
+		if pf.dups >= g.cfg.FloodSuppress {
+			g.emit(obs.EvHeartbeatSuppressed, hb.Label, hb.Leader, hb.Seq)
 			return
 		}
 		g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(hb.State)*8, fwd)
+		g.emit(obs.EvHeartbeatForwarded, hb.Label, hb.Leader, hb.Seq)
 	})
 	g.pendingFwds[key] = pf
 }
@@ -623,6 +636,9 @@ func (g *Manager) onRelinquish(rel Relinquish) {
 }
 
 func (g *Manager) recordEvent(ty trace.LabelEventType, label Label) {
+	if ev, ok := labelObsEvents[ty]; ok {
+		g.emit(ev, label, radio.Broadcast, 0)
+	}
 	if g.ledger == nil {
 		return
 	}
@@ -633,4 +649,32 @@ func (g *Manager) recordEvent(ty trace.LabelEventType, label Label) {
 		CtxType: g.ctxType,
 		Mote:    int(g.m.ID()),
 	})
+}
+
+// labelObsEvents maps ledger label events onto the observability taxonomy,
+// so every coherence-relevant transition also reaches the event bus.
+var labelObsEvents = map[trace.LabelEventType]obs.EventType{
+	trace.LabelCreated:    obs.EvLabelCreated,
+	trace.LabelTakeover:   obs.EvLabelTakeover,
+	trace.LabelRelinquish: obs.EvLabelRelinquish,
+	trace.LabelYield:      obs.EvLabelYield,
+	trace.LabelDeleted:    obs.EvLabelDeleted,
+}
+
+// emit publishes one group-protocol event. peer is the other mote involved
+// (heartbeat origin, known leader, chosen successor) or radio.Broadcast
+// when there is none.
+func (g *Manager) emit(ev obs.EventType, label Label, peer radio.NodeID, seq uint64) {
+	if bus := g.m.Obs(); bus.Active() {
+		bus.Emit(obs.Event{
+			At:      g.m.Scheduler().Now(),
+			Type:    ev,
+			Mote:    int(g.m.ID()),
+			Peer:    int(peer),
+			Label:   string(label),
+			CtxType: g.ctxType,
+			Pos:     g.m.Pos(),
+			Seq:     seq,
+		})
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"envirotrack/internal/geom"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/sensor"
@@ -70,6 +71,7 @@ type Mote struct {
 	cfg    Config
 	rng    *rand.Rand
 	stats  *trace.Stats
+	bus    *obs.Bus
 
 	handlers  []FrameHandler
 	listeners []SenseListener
@@ -127,6 +129,17 @@ func (m *Mote) Rand() *rand.Rand { return m.rng }
 
 // Config returns the mote's resource configuration (defaults applied).
 func (m *Mote) Config() Config { return m.cfg }
+
+// SetObserver attaches the observability bus. A nil bus disables emission.
+func (m *Mote) SetObserver(bus *obs.Bus) { m.bus = bus }
+
+// Obs returns the mote's observability bus; protocol layers built on the
+// mote (group, transport, directory) emit through it. May be nil.
+func (m *Mote) Obs() *obs.Bus { return m.bus }
+
+// Queued returns the number of frames waiting in the CPU queue (series
+// probe for the cpu_queue column).
+func (m *Mote) Queued() int { return m.queued }
 
 // AddFrameHandler appends a frame handler; handlers run in registration
 // order until one consumes the frame.
@@ -216,6 +229,12 @@ func (m *Mote) onFrame(f radio.Frame) {
 	if m.queued >= m.cfg.QueueCap {
 		if m.stats != nil {
 			m.stats.RecordLoss(f.Kind, trace.LossOverload)
+		}
+		if bus := m.bus; bus.Active() {
+			bus.Emit(obs.Event{
+				At: m.sched.Now(), Type: obs.EvCPUOverload, Mote: int(m.id),
+				Peer: int(f.Src), Pos: m.pos, Kind: f.Kind, Bits: f.Bits,
+			})
 		}
 		return
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"envirotrack/internal/geom"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
 )
@@ -95,6 +96,7 @@ type Medium struct {
 	params Params
 	rng    *rand.Rand
 	stats  *trace.Stats
+	bus    *obs.Bus
 
 	nodes map[NodeID]*nodeState
 	order []NodeID // deterministic iteration order
@@ -166,6 +168,10 @@ func New(s *simtime.Scheduler, p Params, rng *rand.Rand, stats *trace.Stats) *Me
 func (m *Medium) Params() Params {
 	return m.params
 }
+
+// SetObserver attaches the observability bus the medium emits frame
+// events through. A nil bus disables emission.
+func (m *Medium) SetObserver(bus *obs.Bus) { m.bus = bus }
 
 // AddNode registers a stationary node. It returns an error if the id is
 // already present. Registration is the only topology mutation the medium
@@ -381,6 +387,12 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	if m.stats != nil {
 		m.stats.RecordSend(f.Kind, f.Bits)
 	}
+	if bus := m.bus; bus.Active() {
+		bus.Emit(obs.Event{
+			At: start, Type: obs.EvFrameSent, Mote: int(f.Src), Peer: int(f.Dst),
+			Pos: src.pos, Kind: f.Kind, Bits: f.Bits,
+		})
+	}
 
 	tx := &transmission{}
 	intended := 0
@@ -400,12 +412,16 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		if m.stats != nil {
 			m.stats.RecordUndelivered(f.Kind)
 		}
+		m.emitUndelivered(m.sched.Now(), f, src.pos)
 		return
 	}
 	// After the last possible delivery, check whether anyone got it.
 	m.sched.At(end+m.params.PropDelay, func() {
-		if tx.delivered == 0 && m.stats != nil {
-			m.stats.RecordUndelivered(f.Kind)
+		if tx.delivered == 0 {
+			if m.stats != nil {
+				m.stats.RecordUndelivered(f.Kind)
+			}
+			m.emitUndelivered(m.sched.Now(), f, src.pos)
 		}
 	})
 }
@@ -446,18 +462,42 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 			if m.stats != nil {
 				m.stats.RecordLoss(f.Kind, trace.LossCollision)
 			}
+			m.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
 		case lost:
 			if m.stats != nil {
 				m.stats.RecordLoss(f.Kind, trace.LossRandom)
 			}
+			m.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
 		default:
 			tx.delivered++
 			if m.stats != nil {
 				m.stats.RecordReceive(f.Kind)
 			}
+			m.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
 			if dst.recv != nil {
 				dst.recv(f)
 			}
 		}
 	})
+}
+
+// emitAtReceiver publishes a reception-side frame event (received/lost)
+// at the receiving node.
+func (m *Medium) emitAtReceiver(t obs.EventType, dst *nodeState, f Frame, cause string) {
+	if bus := m.bus; bus.Active() {
+		bus.Emit(obs.Event{
+			At: m.sched.Now(), Type: t, Mote: int(dst.id), Peer: int(f.Src),
+			Pos: dst.pos, Kind: f.Kind, Bits: f.Bits, Cause: cause,
+		})
+	}
+}
+
+// emitUndelivered publishes a frame that reached no receiver.
+func (m *Medium) emitUndelivered(at time.Duration, f Frame, pos geom.Point) {
+	if bus := m.bus; bus.Active() {
+		bus.Emit(obs.Event{
+			At: at, Type: obs.EvFrameUndelivered, Mote: int(f.Src), Peer: int(f.Dst),
+			Pos: pos, Kind: f.Kind, Bits: f.Bits,
+		})
+	}
 }

@@ -238,3 +238,113 @@ func TestLabelEventTypeString(t *testing.T) {
 		}
 	}
 }
+
+// TestLedgerSummarizeDeletionsAndYieldsInterleaved covers the messy but
+// realistic trace where spurious labels, suppressions, and yields overlap:
+// three labels created, two suppressed by deletion, yields sprinkled
+// between leadership changes. Deletions must offset the spurious-label
+// failure count without ever driving it negative, and yields must count as
+// neither success nor failure.
+func TestLedgerSummarizeDeletionsAndYieldsInterleaved(t *testing.T) {
+	var l Ledger
+	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	l.Record(LabelEvent{At: sec(0), Type: LabelCreated, Label: "t1", CtxType: "tracker", Mote: 1})
+	l.Record(LabelEvent{At: sec(1), Type: LabelYield, Label: "t1", CtxType: "tracker", Mote: 2})
+	l.Record(LabelEvent{At: sec(2), Type: LabelCreated, Label: "t2", CtxType: "tracker", Mote: 5})
+	l.Record(LabelEvent{At: sec(3), Type: LabelTakeover, Label: "t1", CtxType: "tracker", Mote: 3})
+	l.Record(LabelEvent{At: sec(4), Type: LabelDeleted, Label: "t2", CtxType: "tracker", Mote: 5})
+	l.Record(LabelEvent{At: sec(5), Type: LabelCreated, Label: "t3", CtxType: "tracker", Mote: 7})
+	l.Record(LabelEvent{At: sec(6), Type: LabelYield, Label: "t3", CtxType: "tracker", Mote: 8})
+	l.Record(LabelEvent{At: sec(7), Type: LabelRelinquish, Label: "t1", CtxType: "tracker", Mote: 4})
+	l.Record(LabelEvent{At: sec(8), Type: LabelDeleted, Label: "t3", CtxType: "tracker", Mote: 7})
+
+	s := l.Summarize("tracker")
+	if s.Created != 3 || s.Deleted != 2 || s.Yields != 2 {
+		t.Fatalf("created/deleted/yields = %d/%d/%d, want 3/2/2", s.Created, s.Deleted, s.Yields)
+	}
+	if s.Takeovers != 1 || s.Relinquish != 1 {
+		t.Fatalf("takeovers/relinquish = %d/%d, want 1/1", s.Takeovers, s.Relinquish)
+	}
+	// Both spurious labels were reabsorbed, so every attempted handover
+	// (the takeover and the relinquish) succeeded.
+	if s.Successful != 2 || s.Failed != 0 {
+		t.Errorf("success/fail = %d/%d, want 2/0", s.Successful, s.Failed)
+	}
+	if s.CoherenceViolations() != 0 {
+		t.Errorf("CoherenceViolations = %d, want 0", s.CoherenceViolations())
+	}
+	// Deletions beyond created-1 must clamp, not undercount failures.
+	l.Record(LabelEvent{At: sec(9), Type: LabelDeleted, Label: "t1", CtxType: "tracker", Mote: 1})
+	if s := l.Summarize("tracker"); s.Failed != 0 {
+		t.Errorf("Failed = %d after extra deletion, want 0 (clamped)", s.Failed)
+	}
+	if live := l.LiveLabels("tracker"); len(live) != 0 {
+		t.Errorf("LiveLabels = %v after all deletions, want none", live)
+	}
+	// StrictSuccessRate ignores the reabsorptions: 2 successes against 2
+	// spurious creations.
+	if got := l.Summarize("tracker").StrictSuccessRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("StrictSuccessRate = %v, want 0.5", got)
+	}
+}
+
+// TestStrictSuccessRateZeroAttempts pins the no-attempt conventions: a run
+// whose single label never changed leaders made zero handover attempts and
+// must score a perfect 1, and an empty summary (no labels at all) must not
+// divide by zero.
+func TestStrictSuccessRateZeroAttempts(t *testing.T) {
+	if got := (HandoverSummary{Created: 1}).StrictSuccessRate(); got != 1 {
+		t.Errorf("StrictSuccessRate with one label, no handovers = %v, want 1", got)
+	}
+	if got := (HandoverSummary{}).StrictSuccessRate(); got != 1 {
+		t.Errorf("StrictSuccessRate of empty summary = %v, want 1", got)
+	}
+	if got := (HandoverSummary{Created: 1}).SuccessRate(); got != 1 {
+		t.Errorf("SuccessRate with no attempts = %v, want 1", got)
+	}
+}
+
+// TestLinkUtilizationDegenerateInputs: zero or negative duration and zero
+// or negative capacity must yield 0 utilization, not a division by zero.
+func TestLinkUtilizationDegenerateInputs(t *testing.T) {
+	var s Stats
+	s.RecordSend(KindHeartbeat, 50_000)
+	for _, tc := range []struct {
+		name     string
+		d        time.Duration
+		capacity float64
+	}{
+		{"zero duration", 0, 50_000},
+		{"negative duration", -time.Second, 50_000},
+		{"zero capacity", time.Second, 0},
+		{"negative capacity", time.Second, -1},
+	} {
+		if got := s.LinkUtilization(tc.d, tc.capacity); got != 0 {
+			t.Errorf("%s: LinkUtilization = %v, want 0", tc.name, got)
+		}
+	}
+	// Sanity: the same stats over a valid window are non-zero.
+	if got := s.LinkUtilization(time.Second, 50_000); got != 1 {
+		t.Errorf("valid window: LinkUtilization = %v, want 1", got)
+	}
+}
+
+// TestSendLossFractionNoSends: a kind that never transmitted has no
+// meaningful send-loss ratio; the convention is 0, including for kinds the
+// stats map has never seen.
+func TestSendLossFractionNoSends(t *testing.T) {
+	var s Stats
+	if got := s.SendLossFraction(KindReading); got != 0 {
+		t.Errorf("SendLossFraction on empty stats = %v, want 0", got)
+	}
+	// Receives without sends (possible when only the peer's stats recorded
+	// the transmission) still must not divide by zero.
+	s.RecordReceive(KindReading)
+	s.RecordUndelivered(KindReading)
+	if got := s.SendLossFraction(KindReading); got != 0 {
+		t.Errorf("SendLossFraction with zero sends = %v, want 0", got)
+	}
+	if got := s.LossFraction(KindRelinquish); got != 0 {
+		t.Errorf("LossFraction on unseen kind = %v, want 0", got)
+	}
+}

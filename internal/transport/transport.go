@@ -14,6 +14,7 @@ import (
 	"envirotrack/internal/geom"
 	"envirotrack/internal/group"
 	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/routing"
 	"envirotrack/internal/trace"
@@ -152,6 +153,7 @@ func (e *Endpoint) Send(d Datagram) {
 	}
 	if e.dir == nil {
 		e.Stats.NoRoute++
+		e.emit(obs.EvTransportNoRoute, d, int(d.SrcLeader), "no_directory")
 		return
 	}
 	ctxType := labelType(d.DstLabel)
@@ -165,6 +167,7 @@ func (e *Endpoint) Send(d Datagram) {
 			}
 		}
 		e.Stats.NoRoute++
+		e.emit(obs.EvTransportNoRoute, d, int(d.SrcLeader), "label_unknown")
 	})
 }
 
@@ -196,6 +199,7 @@ func (e *Endpoint) handleRouted(msg routing.Message) bool {
 	if e.leading[d.DstLabel] {
 		if fn, ok := e.handlers[portKey{label: d.DstLabel, port: d.DstPort}]; ok {
 			e.Stats.Delivered++
+			e.emit(obs.EvTransportDelivered, d, int(d.SrcLeader), "")
 			fn(d)
 		} else {
 			e.Stats.NoHandler++
@@ -207,16 +211,39 @@ func (e *Endpoint) handleRouted(msg routing.Message) bool {
 	// know a fresher leader.
 	if d.Chain >= MaxForwardChain {
 		e.Stats.NoRoute++
+		e.emit(obs.EvTransportNoRoute, d, int(d.SrcLeader), "chain_exhausted")
 		return true
 	}
 	if info, ok := e.table.Get(d.DstLabel); ok && info.Leader != e.m.ID() {
 		d.Chain++
 		e.Stats.ChainForwarded++
+		e.emit(obs.EvTransportHop, d, int(info.Leader), "")
 		e.routeTo(info, d)
 		return true
 	}
 	e.Stats.NoRoute++
+	e.emit(obs.EvTransportNoRoute, d, int(d.SrcLeader), "no_leader_known")
 	return true
+}
+
+// emit publishes one transport event: Label is the destination label, Seq
+// the forward-chain depth, and peer the other node involved (the source
+// leader for delivery/drop, the next-hop leader for a chain hop).
+func (e *Endpoint) emit(ev obs.EventType, d Datagram, peer int, cause string) {
+	if bus := e.m.Obs(); bus.Active() {
+		bus.Emit(obs.Event{
+			At:      e.m.Scheduler().Now(),
+			Type:    ev,
+			Mote:    int(e.m.ID()),
+			Peer:    peer,
+			Label:   string(d.DstLabel),
+			CtxType: labelType(d.DstLabel),
+			Pos:     e.m.Pos(),
+			Kind:    trace.KindTransport,
+			Seq:     uint64(d.Chain),
+			Cause:   cause,
+		})
+	}
 }
 
 // snoopHeartbeat watches group heartbeats (without consuming them) to keep

@@ -7,7 +7,9 @@ import (
 
 	"envirotrack/internal/core"
 	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
 	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/simtime"
@@ -33,6 +35,7 @@ type networkConfig struct {
 	boundsSet   bool
 	modelFn     ModelFunc
 	directory   bool
+	bus         *obs.Bus
 }
 
 // Option configures New.
@@ -125,6 +128,14 @@ func WithDirectory() Option {
 	return optionFunc(func(c *networkConfig) { c.directory = true })
 }
 
+// WithEventBus attaches an observability event bus: every protocol layer
+// (group, mote CPU, radio, transport, directory) emits structured events
+// through it. A nil or sink-less bus costs one nil check per emission
+// site; sinks only observe, so attaching one cannot perturb a seeded run.
+func WithEventBus(bus *EventBus) Option {
+	return optionFunc(func(c *networkConfig) { c.bus = bus })
+}
+
 // Network is a simulated EnviroTrack deployment: a radio medium, a field
 // of targets, and a set of motes running the middleware stack. It is
 // driven by a virtual clock; use Run/RunSession to advance it. A Network
@@ -137,9 +148,14 @@ type Network struct {
 	stats  *trace.Stats
 	ledger *trace.Ledger
 	rng    *rand.Rand
+	bus    *obs.Bus
 
 	nodes   map[NodeID]*Node
 	started bool
+
+	// ctxTypes are the attached context type names in attach order, for
+	// the built-in series probes.
+	ctxTypes []string
 }
 
 // Node is one deployed mote with its middleware stack.
@@ -175,6 +191,7 @@ func New(opts ...Option) (*Network, error) {
 		DisableCollisions: cfg.noCollision,
 		DisableCSMA:       cfg.noCSMA,
 	}, rng, &stats)
+	medium.SetObserver(cfg.bus)
 
 	n := &Network{
 		cfg:    cfg,
@@ -184,6 +201,7 @@ func New(opts ...Option) (*Network, error) {
 		stats:  &stats,
 		ledger: &trace.Ledger{},
 		rng:    rng,
+		bus:    cfg.bus,
 		nodes:  make(map[NodeID]*Node),
 	}
 	if !cfg.boundsSet {
@@ -218,6 +236,7 @@ func (n *Network) AddMote(id NodeID, pos Point, model *SensorModel) (*Node, erro
 	if err != nil {
 		return nil, fmt.Errorf("envirotrack: %w", err)
 	}
+	m.SetObserver(n.bus)
 	stack := core.NewStack(m, n.medium, core.StackConfig{
 		Bounds:       n.cfg.bounds,
 		UseDirectory: n.cfg.directory,
@@ -254,7 +273,72 @@ func (n *Network) AttachContextAll(spec ContextType) error {
 			return err
 		}
 	}
+	n.noteCtxType(spec.Name)
 	return nil
+}
+
+// noteCtxType records an attached context type name (once) for the series
+// probes.
+func (n *Network) noteCtxType(name string) {
+	for _, ct := range n.ctxTypes {
+		if ct == name {
+			return
+		}
+	}
+	n.ctxTypes = append(n.ctxTypes, name)
+}
+
+// EventBus returns the bus attached via WithEventBus (nil when absent).
+func (n *Network) EventBus() *EventBus {
+	return n.bus
+}
+
+// StartSeries samples simulation health every `every` of sim time into a
+// columnar Series and returns it. The built-in columns are live_labels
+// (labels created but not yet deleted, over all attached context types),
+// group_size (motes currently participating in any label), cpu_queue
+// (frames waiting in mote CPU queues), and link_util (cumulative channel
+// utilization in [0,1]). Extra probes append their own columns. Sampling
+// only reads protocol state, so it does not perturb a seeded run.
+func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series {
+	probes := append([]obs.Probe{
+		{Name: "live_labels", Sample: func() float64 {
+			total := 0
+			for _, ct := range n.ctxTypes {
+				total += len(n.ledger.LiveLabels(ct))
+			}
+			return float64(total)
+		}},
+		{Name: "group_size", Sample: func() float64 {
+			total := 0
+			for _, id := range n.medium.NodeIDs() {
+				node := n.nodes[id]
+				for _, ct := range n.ctxTypes {
+					if rt, ok := node.stack.Runtime(ct); ok && rt.Manager().Role() != group.RoleNone {
+						total++
+						break
+					}
+				}
+			}
+			return float64(total)
+		}},
+		{Name: "cpu_queue", Sample: func() float64 {
+			total := 0
+			for _, id := range n.medium.NodeIDs() {
+				total += n.nodes[id].mote.Queued()
+			}
+			return float64(total)
+		}},
+		{Name: "link_util", Sample: func() float64 {
+			return n.stats.LinkUtilization(n.sched.Now(), n.medium.Params().BitRate)
+		}},
+	}, extra...)
+	sampler := obs.NewSampler(probes...)
+	sampler.Sample(n.sched.Now())
+	simtime.NewTicker(n.sched, every, func() {
+		sampler.Sample(n.sched.Now())
+	})
+	return sampler.Series()
 }
 
 // start launches the sensing scans once.
@@ -339,6 +423,9 @@ func (nd *Node) Pos() Point { return nd.mote.Pos() }
 // AttachContext installs a context type on this mote.
 func (nd *Node) AttachContext(spec ContextType) error {
 	_, err := nd.stack.AttachContext(spec)
+	if err == nil {
+		nd.net.noteCtxType(spec.Name)
+	}
 	return err
 }
 
