@@ -11,6 +11,12 @@
 //	etsim -exp all             # everything
 //	etsim -exp all -parallel 8 # same results, sweeps fanned over 8 workers
 //
+// Fault injection:
+//
+//	etsim -exp chaos                          # fault-matrix suite, invariant-checked
+//	etsim -exp chaos -check-invariants        # same, nonzero exit on any violation
+//	etsim -exp fig3 -chaos "crash:node=5,at=300s,for=60s" -check-invariants
+//
 // Observability:
 //
 //	etsim -exp fig4 -format json            # machine-readable results
@@ -48,13 +54,15 @@ type config struct {
 	metricsOut  string
 	seriesEvery time.Duration
 	progress    bool
+	chaosSpec   string
+	checkInv    bool
 	stdout      io.Writer
 	stderr      io.Writer
 }
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.exp, "exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, all")
+	flag.StringVar(&cfg.exp, "exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, chaos, all")
 	flag.IntVar(&cfg.trials, "trials", 3, "trials per Figure 4 cell")
 	flag.IntVar(&cfg.runs, "runs", 3, "runs per Table 1 row")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for Figure 3")
@@ -65,6 +73,8 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write Prometheus text-format metrics to this file")
 	flag.DurationVar(&cfg.seriesEvery, "series-every", 5*time.Second, "sim-time cadence of -series-out samples")
 	flag.BoolVar(&cfg.progress, "progress", false, "report live sweep progress (done/total, rate, ETA) on stderr")
+	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault schedule for the Figure 3 run, e.g. \"crash:node=5,at=300s,for=60s;loss:at=100s,for=60s,p=0.5\"")
+	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -142,20 +152,30 @@ func run(cfg config) error {
 		eval.SetSeriesCadence(every)
 	}
 
+	chaosSched, err := envirotrack.ParseChaosSchedule(cfg.chaosSpec)
+	if err != nil {
+		return err
+	}
+
 	all := cfg.exp == "all"
 	ran := false
+	violations := 0
 	results := map[string]any{}
 
 	if all || cfg.exp == "fig3" {
 		ran = true
-		res, err := eval.RunFigure3(cfg.seed)
+		res, err := eval.RunFigure3Under(cfg.seed, chaosSched, cfg.checkInv)
 		if err != nil {
 			return err
 		}
+		violations += len(res.Run.Violations)
 		if jsonOut {
 			results["fig3"] = fig3View(res)
 		} else {
 			fmt.Fprintln(cfg.stdout, res.Render())
+			for _, v := range res.Run.Violations {
+				fmt.Fprintf(cfg.stdout, "invariant violation [%s] at %v: %s\n", v.Invariant, v.At, v.Detail)
+			}
 		}
 	}
 	if all || cfg.exp == "fig4" {
@@ -217,8 +237,21 @@ func run(cfg config) error {
 			fmt.Fprintln(cfg.stdout, eval.RenderFigure6(points))
 		}
 	}
+	if all || cfg.exp == "chaos" {
+		ran = true
+		points, err := eval.RunChaosSuite(cfg.trials)
+		if err != nil {
+			return err
+		}
+		violations += eval.TotalViolations(points)
+		if jsonOut {
+			results["chaos"] = chaosView(points)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderChaos(points))
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, all)", cfg.exp)
+		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, chaos, all)", cfg.exp)
 	}
 
 	if jsonOut {
@@ -245,6 +278,9 @@ func run(cfg config) error {
 		if err := writeMetrics(reg, cfg.metricsOut); err != nil {
 			return err
 		}
+	}
+	if cfg.checkInv && violations > 0 {
+		return fmt.Errorf("%d protocol invariant violation(s) proven", violations)
 	}
 	return nil
 }
@@ -347,6 +383,42 @@ func fig5View(points []eval.Figure5Point) any {
 	out := make([]point, 0, len(points))
 	for _, p := range points {
 		out = append(out, point{p.HeartbeatSec, p.SensingRadius, p.Mode, p.MaxSpeedHops})
+	}
+	return out
+}
+
+func chaosView(points []eval.ChaosPoint) any {
+	type violation struct {
+		At        float64 `json:"at_s"`
+		Invariant string  `json:"invariant"`
+		Label     string  `json:"label,omitempty"`
+		Mote      int     `json:"mote"`
+		Peer      int     `json:"peer,omitempty"`
+		Detail    string  `json:"detail"`
+	}
+	type point struct {
+		Case          string      `json:"case"`
+		Seed          int64       `json:"seed"`
+		Coherent      bool        `json:"coherent"`
+		TrackedOK     bool        `json:"tracked_ok"`
+		Labels        int         `json:"labels"`
+		HBLossPct     float64     `json:"hb_loss_pct"`
+		CheckedEvents uint64      `json:"checked_events"`
+		Violations    []violation `json:"violations,omitempty"`
+	}
+	out := make([]point, 0, len(points))
+	for _, p := range points {
+		pt := point{
+			Case: p.Case, Seed: p.Seed, Coherent: p.Coherent, TrackedOK: p.TrackedOK,
+			Labels: p.Labels, HBLossPct: 100 * p.HBLoss, CheckedEvents: p.CheckedEvents,
+		}
+		for _, v := range p.Violations {
+			pt.Violations = append(pt.Violations, violation{
+				At: v.At.Seconds(), Invariant: v.Invariant, Label: v.Label,
+				Mote: v.Mote, Peer: v.Peer, Detail: v.Detail,
+			})
+		}
+		out = append(out, pt)
 	}
 	return out
 }

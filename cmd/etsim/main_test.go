@@ -166,3 +166,76 @@ func TestRunObservabilityOutputs(t *testing.T) {
 		t.Error("series missing live_labels column")
 	}
 }
+
+// TestRunChaosExperiment drives -exp chaos with -check-invariants: the
+// nominal protocol must hold every invariant, so the run succeeds and
+// reports a fully-checked suite.
+func TestRunChaosExperiment(t *testing.T) {
+	if protocolMutated {
+		t.Skip("protocol mutated (-tags chaosmut): violations are the expected outcome")
+	}
+	var out bytes.Buffer
+	cfg := config{exp: "chaos", trials: 1, checkInv: true, stdout: &out}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Chaos suite") {
+		t.Error("text output missing chaos suite header")
+	}
+	if !strings.Contains(text, "all protocol invariants held") {
+		t.Errorf("nominal chaos suite did not report clean invariants:\n%s", text)
+	}
+
+	out.Reset()
+	cfg.format = "json"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Chaos []struct {
+			Case          string `json:"case"`
+			CheckedEvents uint64 `json:"checked_events"`
+		} `json:"chaos"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chaos JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Chaos) != 9 {
+		t.Errorf("chaos JSON has %d cells, want 9", len(doc.Chaos))
+	}
+	for _, c := range doc.Chaos {
+		if c.CheckedEvents == 0 {
+			t.Errorf("case %q: checker saw no events", c.Case)
+		}
+	}
+}
+
+// TestRunFig3WithChaosSchedule applies a -chaos schedule to the Figure 3
+// run under -check-invariants; the faults degrade tracking but must not
+// break protocol safety.
+func TestRunFig3WithChaosSchedule(t *testing.T) {
+	if protocolMutated {
+		t.Skip("protocol mutated (-tags chaosmut): violations are the expected outcome")
+	}
+	var out bytes.Buffer
+	cfg := config{
+		exp: "fig3", seed: 1,
+		chaosSpec: "crash:node=5,at=300s,for=60s;loss:at=100s,for=60s,p=0.4",
+		checkInv:  true,
+		stdout:    &out,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Error("text output missing Figure 3 header")
+	}
+}
+
+func TestRunRejectsMalformedChaosSpec(t *testing.T) {
+	cfg := config{exp: "fig3", chaosSpec: "explode:at=1s", stdout: new(bytes.Buffer)}
+	if err := run(cfg); err == nil {
+		t.Error("expected error for malformed chaos spec")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !chaosmut
+
+package main
+
+// protocolMutated lets nominal-protocol assertions skip under the
+// -tags chaosmut mutation build.
+const protocolMutated = false

@@ -1,0 +1,5 @@
+//go:build chaosmut
+
+package main
+
+const protocolMutated = true

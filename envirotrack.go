@@ -37,10 +37,12 @@ import (
 	"io"
 
 	"envirotrack/internal/aggregate"
+	"envirotrack/internal/chaos"
 	"envirotrack/internal/core"
 	"envirotrack/internal/directory"
 	"envirotrack/internal/geom"
 	"envirotrack/internal/group"
+	"envirotrack/internal/invariant"
 	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
@@ -255,3 +257,33 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewMetricsSink registers protocol metrics on reg and returns the sink
 // feeding them.
 func NewMetricsSink(reg *MetricsRegistry) *MetricsSink { return obs.NewMetricsSink(reg) }
+
+// Fault injection and invariant checking.
+type (
+	// ChaosSchedule is a declarative fault plan (node crashes, loss steps
+	// and ramps, partitions, message duplication) replayed
+	// deterministically on the virtual clock; install one with
+	// Network.InjectFaults.
+	ChaosSchedule = chaos.Schedule
+	// InvariantChecker is an EventSink that checks protocol safety
+	// invariants (single leader per label, takeover silence, teardown
+	// quiescence, directory consistency, report cadence) over a run's
+	// event stream.
+	InvariantChecker = invariant.Checker
+	// InvariantConfig parameterizes an InvariantChecker with the run's
+	// protocol timing.
+	InvariantConfig = invariant.Config
+	// InvariantViolation is one proven invariant breach.
+	InvariantViolation = invariant.Violation
+	// InvariantPartition tells an InvariantChecker about a scheduled
+	// network partition so split-brain leadership during it is exempt.
+	InvariantPartition = invariant.PartitionWindow
+)
+
+// ParseChaosSchedule parses the textual chaos spec format, e.g.
+// "crash:node=17,at=10s,for=5s;loss:at=20s,for=10s,p=0.5".
+func ParseChaosSchedule(spec string) (ChaosSchedule, error) { return chaos.ParseSchedule(spec) }
+
+// NewInvariantChecker builds an invariant checker for one run; attach it
+// to the run's event bus and inspect Violations() afterwards.
+func NewInvariantChecker(cfg InvariantConfig) *InvariantChecker { return invariant.New(cfg) }

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRunCompletes is the example's smoke test: the program must run its
+// full simulated scenario to completion without error. It executes in
+// well under a second of wall time (the simulator runs on a virtual
+// clock), so it doubles as a compile-and-run check in CI.
+func TestRunCompletes(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -205,6 +205,9 @@ func TestStaticCtxReadsAreInvalid(t *testing.T) {
 // it degrades without panics or violated invariants (coherence is
 // restored by the ledger's own accounting).
 func TestTrackingDegradesGracefullyUnderLoss(t *testing.T) {
+	if protocolMutated {
+		t.Skip("protocol mutated (-tags chaosmut): single-leader convergence is off")
+	}
 	for _, loss := range []float64{0, 0.1, 0.3, 0.5} {
 		loss := loss
 		w := newWorldWithLoss(t, 2.5, geom.Rect{Min: geom.Pt(0, -1), Max: geom.Pt(8, 1)}, loss)

@@ -1,0 +1,8 @@
+//go:build !chaosmut
+
+package core
+
+// protocolMutated lets nominal-protocol assertions skip under the
+// -tags chaosmut mutation build (where the group yield rule is off and
+// duplicate leaders are the expected outcome).
+const protocolMutated = false

@@ -1,0 +1,5 @@
+//go:build chaosmut
+
+package core
+
+const protocolMutated = true

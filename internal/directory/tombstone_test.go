@@ -1,10 +1,13 @@
 package directory
 
 import (
+	"maps"
+	"math/rand"
 	"testing"
 	"time"
 
 	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
 	"envirotrack/internal/radio"
 )
 
@@ -104,4 +107,56 @@ func nearestTo(n *net, p geom.Point) (best int) {
 		}
 	}
 	return best
+}
+
+// TestTombstonePropertyUnderChurn drives a directory service through
+// random register/unregister churn (out-of-order timestamps included,
+// as relayed messages genuinely arrive) and checks it against a
+// reference model after every operation: the entry table must match the
+// model exactly, and tombstones must only move forward in time.
+func TestTombstonePropertyUnderChurn(t *testing.T) {
+	labels := []group.Label{"x/1", "x/2", "x/3", "x/4", "x/5", "x/6", "x/7", "x/8"}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := newNet(t, 4, 4, 1.5)
+		svc := n.services[0]
+
+		oracle := map[group.Label]time.Duration{}
+		tombs := map[group.Label]time.Duration{}
+
+		for op := 0; op < 400; op++ {
+			label := labels[rng.Intn(len(labels))]
+			at := time.Duration(rng.Intn(100)) * time.Second
+			if rng.Intn(2) == 0 {
+				svc.store(Entry{CtxType: "x", Label: label, UpdatedAt: at})
+				ts, dead := tombs[label]
+				if prev, live := oracle[label]; (!dead || at > ts) && (!live || prev <= at) {
+					oracle[label] = at
+				}
+			} else {
+				svc.remove(unregisterMsg{CtxType: "x", Label: label, At: at})
+				if prev, live := oracle[label]; live && prev <= at {
+					delete(oracle, label)
+				}
+				if ts, ok := tombs[label]; !ok || ts < at {
+					tombs[label] = at
+				}
+			}
+
+			got := map[group.Label]time.Duration{}
+			for _, e := range svc.Entries("x") {
+				got[e.Label] = e.UpdatedAt
+			}
+			if !maps.Equal(got, oracle) {
+				t.Fatalf("seed %d op %d: entries diverge from model\nservice = %v\nmodel   = %v",
+					seed, op, got, oracle)
+			}
+			for label, want := range tombs {
+				if ts, ok := svc.tombstones["x"][label]; !ok || ts != want {
+					t.Fatalf("seed %d op %d: tombstone[%s] = %v (present=%t), model %v — tombstones must be monotone",
+						seed, op, label, ts, ok, want)
+				}
+			}
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"envirotrack"
 	"envirotrack/internal/eval/runpar"
 )
 
@@ -38,7 +39,17 @@ func Figure3Scenario(seed int64) Scenario {
 
 // RunFigure3 executes the trajectory experiment.
 func RunFigure3(seed int64) (Figure3Result, error) {
-	res, err := Run(Figure3Scenario(seed))
+	return RunFigure3Under(seed, envirotrack.ChaosSchedule{}, false)
+}
+
+// RunFigure3Under executes the trajectory experiment under a fault
+// schedule, optionally with the protocol invariant checker attached
+// (violations land in the result's Run.Violations).
+func RunFigure3Under(seed int64, sched envirotrack.ChaosSchedule, check bool) (Figure3Result, error) {
+	sc := Figure3Scenario(seed)
+	sc.Chaos = sched
+	sc.CheckInvariants = check
+	res, err := Run(sc)
 	if err != nil {
 		return Figure3Result{}, err
 	}

@@ -1,0 +1,8 @@
+//go:build !chaosmut
+
+package eval
+
+// protocolMutated lets nominal-protocol assertions skip under the
+// -tags chaosmut mutation build (where invariant violations are the
+// expected outcome).
+const protocolMutated = false

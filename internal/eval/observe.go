@@ -76,7 +76,10 @@ func DrainSeries() []TaggedSeries {
 
 // observeRun resolves the configured observability for one scenario:
 // extra network options and a completion hook (both possibly nil/empty).
-func observeRun(sc Scenario) (opts []envirotrack.Option, onNet func(*envirotrack.Network), done func()) {
+// checker is the run's private invariant checker (nil when the scenario
+// doesn't request invariant checking); unlike the package-level sink it
+// is never shared across parallel runs.
+func observeRun(sc Scenario, checker *envirotrack.InvariantChecker) (opts []envirotrack.Option, onNet func(*envirotrack.Network), done func()) {
 	obsCfg.mu.Lock()
 	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
 	obsCfg.mu.Unlock()
@@ -88,9 +91,16 @@ func observeRun(sc Scenario) (opts []envirotrack.Option, onNet func(*envirotrack
 	if metrics != nil {
 		sinks = append(sinks, metrics)
 	}
+	if checker != nil {
+		sinks = append(sinks, checker)
+	}
 	if len(sinks) > 0 {
 		bus := obs.NewBus(sinks...)
-		bus.SetRun(sc.Seed)
+		tag := sc.Run
+		if tag == 0 {
+			tag = sc.Seed
+		}
+		bus.SetRun(tag)
 		opts = append(opts, envirotrack.WithEventBus(bus))
 	}
 	if cadence > 0 {

@@ -68,6 +68,10 @@ type Scenario struct {
 	MarginHops float64
 	// Seed makes the run deterministic.
 	Seed int64
+	// Run tags the run's events on the observability bus (so a shared
+	// sink can separate interleaved parallel runs); 0 uses Seed. Sweeps
+	// whose cells reuse seeds must set distinct tags.
+	Run int64
 	// SensePeriod overrides the mote scan period.
 	SensePeriod time.Duration
 	// CrossTraffic enables background traffic between non-participating
@@ -78,6 +82,12 @@ type Scenario struct {
 	// FloodSuppressOff ablates the broadcast-storm suppression of
 	// heartbeat relaying.
 	FloodSuppressOff bool
+	// Chaos is a fault schedule replayed during the run (crashes, loss
+	// steps/ramps, partitions, duplication). Empty injects nothing.
+	Chaos envirotrack.ChaosSchedule
+	// CheckInvariants attaches a protocol invariant checker to the run;
+	// proven violations land in RunResult.Violations.
+	CheckInvariants bool
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -136,6 +146,12 @@ type RunResult struct {
 	LinkUtil  float64 // worst-case utilization of the 50 kb/s channel
 	TrackedOK bool    // target still covered by the surviving label at the end
 	Labels    int     // distinct labels created
+	// Violations holds the invariant breaches proven by the checker
+	// (only populated with Scenario.CheckInvariants).
+	Violations []envirotrack.InvariantViolation
+	// CheckedEvents counts the events the invariant checker consumed
+	// (zero means it never saw the run).
+	CheckedEvents uint64
 }
 
 // Run executes one tracking scenario to the end of the target's path.
@@ -170,7 +186,8 @@ func Run(sc Scenario) (RunResult, error) {
 	if sc.SensePeriod > 0 {
 		opts = append(opts, envirotrack.WithSensePeriod(sc.SensePeriod))
 	}
-	obsOpts, onNet, obsDone := observeRun(sc)
+	checker := checkerFor(sc)
+	obsOpts, onNet, obsDone := observeRun(sc, checker)
 	opts = append(opts, obsOpts...)
 	net, err := envirotrack.New(opts...)
 	if err != nil {
@@ -178,6 +195,9 @@ func Run(sc Scenario) (RunResult, error) {
 	}
 	if onNet != nil {
 		onNet(net)
+	}
+	if err := net.InjectFaults(sc.Chaos); err != nil {
+		return RunResult{}, err
 	}
 
 	target := &envirotrack.Target{
@@ -234,10 +254,43 @@ func Run(sc Scenario) (RunResult, error) {
 		Labels:   net.Ledger().DistinctLabels("tracker"),
 	}
 	res.TrackedOK = coveredAtEnd(net, target, sc)
+	if checker != nil {
+		checker.Finish(net.Now())
+		res.Violations = checker.Violations()
+		res.CheckedEvents = checker.Events()
+	}
 	if obsDone != nil {
 		obsDone()
 	}
 	return res, nil
+}
+
+// checkerFor builds the run's invariant checker (nil when disabled),
+// configured with the scenario's actual protocol timing: the member
+// report cadence is the stack's derived Pe = Le - d (freshness minus the
+// default 100ms delay estimate), not the group-config default.
+func checkerFor(sc Scenario) *envirotrack.InvariantChecker {
+	if !sc.CheckInvariants {
+		return nil
+	}
+	pe := sc.Freshness - 100*time.Millisecond
+	if pe < 0 {
+		pe = 0
+	}
+	var parts []envirotrack.InvariantPartition
+	for _, p := range sc.Chaos.Partitions {
+		w := envirotrack.InvariantPartition{X: p.X, At: p.At}
+		if p.For > 0 {
+			w.Until = p.At + p.For
+		}
+		parts = append(parts, w)
+	}
+	return envirotrack.NewInvariantChecker(envirotrack.InvariantConfig{
+		Heartbeat:    sc.Heartbeat,
+		ReportPeriod: pe,
+		CommRadius:   sc.CommRadius,
+		Partitions:   parts,
+	})
 }
 
 // trackerSpec is the Figure 2 context declaration, parameterized by the

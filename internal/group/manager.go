@@ -558,8 +558,9 @@ func (g *Manager) leaderOnHeartbeat(hb Heartbeat) {
 			return
 		}
 		// Two leaders within one context label: the lower-priority one
-		// yields immediately to prevent redundant behavior.
-		if outranks(hb.Weight, g.weight, fmt.Sprint(hb.Leader), fmt.Sprint(g.m.ID())) {
+		// yields immediately to prevent redundant behavior. (The chaosmut
+		// build suppresses the yield to prove the invariant checker.)
+		if !mutationSuppressYield && outranks(hb.Weight, g.weight, fmt.Sprint(hb.Leader), fmt.Sprint(g.m.ID())) {
 			g.recordEvent(trace.LabelYield, g.label)
 			g.becomeMember(hb.Label, hb.Leader, hb.Weight, hb.State)
 		}

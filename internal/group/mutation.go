@@ -1,0 +1,10 @@
+//go:build !chaosmut
+
+package group
+
+// mutationSuppressYield is the invariant-checker self-test switch: the
+// chaosmut build tag flips it on, disabling the same-label yield rule so
+// that a receive-timer takeover leaves two live leaders on one label —
+// exactly the dual-leader violation internal/invariant must detect. The
+// nominal build compiles the protocol unchanged.
+const mutationSuppressYield = false

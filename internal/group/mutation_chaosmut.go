@@ -1,0 +1,10 @@
+//go:build chaosmut
+
+package group
+
+// mutationSuppressYield: under the chaosmut build tag the same-label
+// yield rule is suppressed, so dual leadership created by a takeover
+// never resolves. This build exists solely to prove the invariant
+// checker trips (TestMutationTripsDualLeader); it must never ship in a
+// nominal binary.
+const mutationSuppressYield = true

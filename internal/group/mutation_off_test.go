@@ -1,0 +1,8 @@
+//go:build !chaosmut
+
+package group
+
+// protocolMutated lets nominal-protocol assertions skip under the
+// -tags chaosmut mutation build (where the same-label yield rule is
+// deliberately disabled).
+const protocolMutated = false

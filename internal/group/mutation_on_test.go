@@ -1,0 +1,5 @@
+//go:build chaosmut
+
+package group
+
+const protocolMutated = true

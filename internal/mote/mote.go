@@ -173,12 +173,28 @@ func (m *Mote) Stop() {
 // Fail kills the mote: it stops sensing, processing, and transmitting until
 // Restore is called. Used for fault injection (Figure 5's worst case).
 func (m *Mote) Fail() {
+	if m.failed {
+		return
+	}
 	m.failed = true
+	if bus := m.bus; bus.Active() {
+		bus.Emit(obs.Event{
+			At: m.sched.Now(), Type: obs.EvMoteFailed, Mote: int(m.id), Pos: m.pos,
+		})
+	}
 }
 
 // Restore revives a failed mote.
 func (m *Mote) Restore() {
+	if !m.failed {
+		return
+	}
 	m.failed = false
+	if bus := m.bus; bus.Active() {
+		bus.Emit(obs.Event{
+			At: m.sched.Now(), Type: obs.EvMoteRestored, Mote: int(m.id), Pos: m.pos,
+		})
+	}
 }
 
 // Failed reports whether the mote is currently failed.

@@ -52,6 +52,9 @@ const (
 	// directory
 	EvDirectoryUpdated // directory replica applied a register/unregister
 	EvDirectoryQuery   // directory node answered a query
+	// fault injection
+	EvMoteFailed   // mote crashed (chaos schedule or manual Fail)
+	EvMoteRestored // mote revived after a crash
 )
 
 // eventNames maps types to their stable wire names (used in JSONL export
@@ -79,6 +82,8 @@ var eventNames = map[EventType]string{
 	EvTransportNoRoute:    "transport_no_route",
 	EvDirectoryUpdated:    "directory_updated",
 	EvDirectoryQuery:      "directory_query",
+	EvMoteFailed:          "mote_failed",
+	EvMoteRestored:        "mote_restored",
 }
 
 // String implements fmt.Stringer.
@@ -92,7 +97,7 @@ func (t EventType) String() string {
 // EventTypes returns every defined event type in declaration order.
 func EventTypes() []EventType {
 	out := make([]EventType, 0, len(eventNames))
-	for t := EvHeartbeatSent; t <= EvDirectoryQuery; t++ {
+	for t := EvHeartbeatSent; t <= EvMoteRestored; t++ {
 		out = append(out, t)
 	}
 	return out

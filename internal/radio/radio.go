@@ -84,6 +84,29 @@ const maxCSMAAttempts = 6
 // on the scheduler thread at the frame's arrival time.
 type Receiver func(Frame)
 
+// FaultInjector lets a fault-injection harness perturb the medium while a
+// run executes. All methods are consulted on the scheduler thread. The
+// contract that keeps nominal runs bit-identical: with no injector
+// attached the medium draws exactly the same RNG sequence as before the
+// hook existed, and an attached injector only adds draws when
+// DuplicateProb returns > 0.
+type FaultInjector interface {
+	// LossProb returns the effective iid per-receiver loss probability at
+	// sim time now, given the configured base probability.
+	LossProb(now time.Duration, base float64) float64
+	// Linked reports whether a frame from src can reach dst at sim time
+	// now; false models a network partition severing the link.
+	Linked(now time.Duration, src, dst NodeID) bool
+	// DuplicateProb returns the probability that a frame transmission is
+	// duplicated (sent twice) at sim time now. Zero disables duplication
+	// without consuming randomness.
+	DuplicateProb(now time.Duration) float64
+}
+
+// SetFaultInjector attaches a fault injector to the medium; nil detaches
+// it and restores nominal behaviour.
+func (m *Medium) SetFaultInjector(fi FaultInjector) { m.faults = fi }
+
 // Medium is the shared channel. It is driven entirely by the simulation
 // scheduler and is not safe for concurrent use.
 //
@@ -100,6 +123,9 @@ type Medium struct {
 
 	nodes map[NodeID]*nodeState
 	order []NodeID // deterministic iteration order
+	// faults, when non-nil, overrides loss probability, severs partitioned
+	// links, and duplicates frames (chaos harness). Nil in nominal runs.
+	faults FaultInjector
 
 	// cells is the spatial hash: nodes bucketed by grid cell of size
 	// cellSize (= CommRadius, or 1 when CommRadius is unset). Entries
@@ -334,6 +360,16 @@ func (m *Medium) Airtime(bits int) time.Duration {
 // terminals still collide). Sending from an unregistered node is a no-op.
 func (m *Medium) Send(f Frame) {
 	m.trySend(f, 0)
+	// Message-duplication fault: occasionally transmit a second copy of
+	// the frame. The copy contends for the channel like any transmission
+	// (it serializes behind the original via txBusyUntil). Randomness is
+	// drawn only when the injector is live and returns a positive
+	// probability, so nominal runs consume an unchanged RNG sequence.
+	if m.faults != nil {
+		if p := m.faults.DuplicateProb(m.sched.Now()); p > 0 && m.rng.Float64() < p {
+			m.trySend(f, 0)
+		}
+	}
 }
 
 // channelBusyUntil returns when the medium around the node goes idle: the
@@ -400,6 +436,11 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	// order — the same nodes the old full-field scan selected — and it is
 	// cached, so the per-frame cost is O(receivers).
 	for _, id := range m.Neighbors(f.Src) {
+		if m.faults != nil && !m.faults.Linked(start, f.Src, id) {
+			// Partition fault: the link is severed, so the frame neither
+			// reaches this receiver nor occupies its channel.
+			continue
+		}
 		dst := m.nodes[id]
 		isTarget := f.Dst == Broadcast || f.Dst == id
 		if isTarget {
@@ -455,7 +496,14 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 		return
 	}
 
-	lost := m.rng.Float64() < m.params.LossProb
+	lossProb := m.params.LossProb
+	if m.faults != nil {
+		// The override changes only the threshold, never the draw count,
+		// so runs with and without step/ramp loss faults stay comparable
+		// draw-for-draw until the first divergent outcome.
+		lossProb = m.faults.LossProb(start, lossProb)
+	}
+	lost := m.rng.Float64() < lossProb
 	m.sched.At(end+m.params.PropDelay, func() {
 		switch {
 		case rx.corrupted:

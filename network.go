@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"envirotrack/internal/chaos"
 	"envirotrack/internal/core"
 	"envirotrack/internal/geom"
 	"envirotrack/internal/group"
@@ -339,6 +340,41 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 		sampler.Sample(n.sched.Now())
 	})
 	return sampler.Series()
+}
+
+// InjectFaults installs a chaos fault schedule on the network: node
+// crashes/restores become scheduler events driving Mote.Fail/Restore,
+// and loss, ramp, partition, and duplication faults are wired into the
+// radio medium. Call it before Run; the schedule replays deterministically
+// on the virtual clock, so the same seed plus the same schedule always
+// reproduces the same run. An empty schedule is a no-op.
+func (n *Network) InjectFaults(sc chaos.Schedule) error {
+	if sc.Empty() {
+		return nil
+	}
+	for _, c := range sc.Crashes {
+		if _, ok := n.nodes[NodeID(c.Node)]; !ok {
+			return fmt.Errorf("envirotrack: chaos schedule crashes unknown node %d", c.Node)
+		}
+	}
+	inj, err := chaos.NewInjector(n.sched, sc, chaos.Hooks{
+		Fail: func(node int) {
+			if nd, ok := n.nodes[NodeID(node)]; ok {
+				nd.Fail()
+			}
+		},
+		Restore: func(node int) {
+			if nd, ok := n.nodes[NodeID(node)]; ok {
+				nd.Restore()
+			}
+		},
+		Position: n.medium.Position,
+	})
+	if err != nil {
+		return fmt.Errorf("envirotrack: %w", err)
+	}
+	n.medium.SetFaultInjector(inj)
+	return nil
 }
 
 // start launches the sensing scans once.
