@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench bench-compare profile clean
 
 all: build test
 
@@ -18,11 +18,29 @@ vet:
 
 # bench regenerates every paper table/figure benchmark plus the substrate
 # micro-benchmarks, emitting the machine-readable trajectory the ROADMAP
-# tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded.
+# tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded;
+# -benchmem records allocs/op and B/op so the zero-allocation core is
+# guarded alongside throughput.
 # Numbered snapshots: BENCH_1.json predates the observability layer,
-# BENCH_2.json includes the tracing-overhead benchmark.
+# BENCH_2.json includes the tracing-overhead benchmark, BENCH_3.json adds
+# -benchmem plus the scheduler-churn and broadcast-fanout benches on the
+# pooled zero-allocation core.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > BENCH_2.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json ./... > BENCH_3.json
+
+# bench-compare reruns the suite and diffs it against the previous
+# checked-in snapshot with the in-repo benchcmp tool (a dependency-free
+# benchstat stand-in), failing on >10% throughput regression.
+bench-compare: bench
+	$(GO) run ./cmd/benchcmp -baseline BENCH_2.json -new BENCH_3.json \
+		-metric sim_s_per_wall_s -max-regress 0.10
+
+# profile captures CPU and heap profiles of the Table 1 sweep — the
+# communication-heavy workload that exercises the scheduler and radio hot
+# paths. Inspect with: go tool pprof cpu.pprof
+profile: build
+	$(GO) run ./cmd/etsim -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json cpu.pprof mem.pprof

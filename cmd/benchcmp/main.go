@@ -1,0 +1,209 @@
+// Command benchcmp compares two benchmark result files produced by
+// `go test -json -bench` (the files `make bench` writes as BENCH_N.json)
+// and fails when a watched metric regresses beyond a threshold. It is the
+// repository's dependency-free stand-in for benchstat, used by `make
+// bench-compare` and the CI bench-compare job to guard the simulator's
+// throughput floor.
+//
+// Metric direction is inferred from the unit: */op units (ns/op, B/op,
+// allocs/op) regress upward, rate units (runs/s, sim_s_per_wall_s, and
+// anything else) regress downward.
+//
+// Usage:
+//
+//	benchcmp -baseline BENCH_2.json -new BENCH_3.json \
+//	  -metric sim_s_per_wall_s -max-regress 0.10
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// results maps benchmark name -> metric unit -> value.
+type results map[string]map[string]float64
+
+// testEvent is the subset of the go test -json event stream we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// parseFile extracts benchmark measurements from a go test -json file.
+// The benchmark name and its measurements usually arrive as separate
+// output events (the testing package prints the name, runs the benchmark,
+// then prints the numbers), so fragments are reassembled into full text
+// lines per package/test stream before parsing. Plain `go test -bench`
+// text output is accepted too: lines that are not JSON are scanned
+// directly.
+func parseFile(path string) (results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res := results{}
+	pending := map[string]string{} // partial text line per package/test stream
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "{") {
+			parseBenchLine(res, line)
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // tolerate foreign lines
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "\x00" + ev.Test
+		buf := pending[key] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			parseBenchLine(res, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		if buf == "" {
+			delete(pending, key)
+		} else {
+			pending[key] = buf
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, buf := range pending {
+		parseBenchLine(res, buf)
+	}
+	return res, nil
+}
+
+// parseBenchLine folds one `BenchmarkName  N  v1 unit1  v2 unit2 ...`
+// line into res. Non-benchmark lines are ignored.
+func parseBenchLine(res results, line string) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, then (value, unit) pairs.
+	if len(fields) < 4 {
+		return
+	}
+	name := fields[0]
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return
+	}
+	metrics := res[name]
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return
+		}
+		if metrics == nil {
+			metrics = map[string]float64{}
+			res[name] = metrics
+		}
+		metrics[fields[i+1]] = v
+	}
+}
+
+// lowerIsBetter reports the regression direction for a metric unit.
+func lowerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/op")
+}
+
+// compare evaluates one metric across the benchmarks present in both
+// files. It returns the comparison report and whether any benchmark
+// regressed beyond maxRegress (a fraction, e.g. 0.10 for 10%).
+func compare(base, fresh results, metric string, maxRegress float64) (string, bool) {
+	var names []string
+	for name, m := range base {
+		if _, ok := m[metric]; !ok {
+			continue
+		}
+		if fm, ok := fresh[name]; ok {
+			if _, ok := fm[metric]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-40s %14s %14s %9s\n", "benchmark ("+metric+")", "baseline", "new", "delta")
+	for _, name := range names {
+		old, now := base[name][metric], fresh[name][metric]
+		var delta float64
+		if old != 0 {
+			delta = (now - old) / old
+		}
+		bad := false
+		if lowerIsBetter(metric) {
+			bad = delta > maxRegress
+		} else {
+			bad = delta < -maxRegress
+		}
+		mark := ""
+		if bad {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-40s %14.2f %14.2f %+8.1f%%%s\n", name, old, now, delta*100, mark)
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(&sb, "(no benchmark reports %q in both files)\n", metric)
+	}
+	return sb.String(), regressed
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline results file (go test -json output)")
+	freshPath := flag.String("new", "", "new results file to compare against the baseline")
+	metric := flag.String("metric", "sim_s_per_wall_s", "comma-separated metric units to compare")
+	maxRegress := flag.Float64("max-regress", 0.10, "failure threshold as a fraction (0.10 = 10%)")
+	flag.Parse()
+	if *baseline == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fresh, err := parseFile(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	anyRegressed := false
+	for _, m := range strings.Split(*metric, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		report, regressed := compare(base, fresh, m, *maxRegress)
+		fmt.Print(report)
+		anyRegressed = anyRegressed || regressed
+	}
+	if anyRegressed {
+		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% detected\n", *maxRegress*100)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	res := results{}
+	parseBenchLine(res, "BenchmarkSimulationThroughput \t       3\t  12149500 ns/op\t        82.32 runs/s\t      9056 sim_s_per_wall_s\t  498221 B/op\t    3992 allocs/op")
+	parseBenchLine(res, "ok  \tenvirotrack/internal/eval\t0.5s")
+	parseBenchLine(res, "PASS")
+	m := res["BenchmarkSimulationThroughput"]
+	if m == nil {
+		t.Fatal("benchmark line not parsed")
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 12149500, "runs/s": 82.32, "sim_s_per_wall_s": 9056,
+		"B/op": 498221, "allocs/op": 3992,
+	} {
+		if m[unit] != want {
+			t.Fatalf("%s = %v, want %v", unit, m[unit], want)
+		}
+	}
+	if len(res) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(res))
+	}
+}
+
+func TestParseFileJSONStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	// The name and the measurements arrive as separate output events, the
+	// way test2json frames real -bench output; a second package's events
+	// interleave without corrupting the reassembly.
+	content := `{"Action":"start","Package":"envirotrack"}
+{"Action":"output","Package":"envirotrack","Test":"BenchmarkSimulationThroughput","Output":"BenchmarkSimulationThroughput\n"}
+{"Action":"output","Package":"envirotrack","Test":"BenchmarkSimulationThroughput","Output":"BenchmarkSimulationThroughput     \t"}
+{"Action":"output","Package":"envirotrack/internal/simtime","Test":"BenchmarkSchedulerChurn","Output":"BenchmarkSchedulerChurn \t"}
+{"Action":"output","Package":"envirotrack","Test":"BenchmarkSimulationThroughput","Output":"       3\t  35000000 ns/op\t      3460 sim_s_per_wall_s\n"}
+{"Action":"output","Package":"envirotrack/internal/simtime","Test":"BenchmarkSchedulerChurn","Output":"  100000\t        57.55 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"envirotrack","Output":"PASS\n"}
+{"Action":"pass","Package":"envirotrack"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkSimulationThroughput"]["sim_s_per_wall_s"]; got != 3460 {
+		t.Fatalf("sim_s_per_wall_s = %v, want 3460", got)
+	}
+	if got := res["BenchmarkSchedulerChurn"]["allocs/op"]; got != 0 {
+		t.Fatalf("allocs/op = %v, want 0", got)
+	}
+	if got := res["BenchmarkSchedulerChurn"]["ns/op"]; got != 57.55 {
+		t.Fatalf("ns/op = %v, want 57.55", got)
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := results{
+		"BenchmarkA": {"sim_s_per_wall_s": 1000, "allocs/op": 100},
+		"BenchmarkB": {"sim_s_per_wall_s": 500},
+	}
+
+	// Higher-is-better metric: a drop beyond the threshold regresses.
+	fresh := results{
+		"BenchmarkA": {"sim_s_per_wall_s": 850, "allocs/op": 100},
+		"BenchmarkB": {"sim_s_per_wall_s": 510},
+	}
+	report, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10)
+	if !regressed {
+		t.Fatalf("15%% throughput drop not flagged; report:\n%s", report)
+	}
+
+	// Within threshold: no failure.
+	fresh["BenchmarkA"]["sim_s_per_wall_s"] = 950
+	if report, regressed = compare(base, fresh, "sim_s_per_wall_s", 0.10); regressed {
+		t.Fatalf("5%% drop flagged as regression; report:\n%s", report)
+	}
+
+	// Lower-is-better metric: an increase beyond the threshold regresses,
+	// a decrease does not.
+	fresh["BenchmarkA"]["allocs/op"] = 150
+	if _, regressed = compare(base, fresh, "allocs/op", 0.10); !regressed {
+		t.Fatal("50% allocs/op increase not flagged")
+	}
+	fresh["BenchmarkA"]["allocs/op"] = 10
+	if _, regressed = compare(base, fresh, "allocs/op", 0.10); regressed {
+		t.Fatal("allocs/op improvement flagged as regression")
+	}
+
+	// Benchmarks missing from either side are skipped, not regressions.
+	if _, regressed = compare(base, results{}, "sim_s_per_wall_s", 0.10); regressed {
+		t.Fatal("empty new file flagged as regression")
+	}
+}

@@ -25,6 +25,10 @@
 //	etsim -exp fig4 -metrics-out m.prom     # Prometheus text metrics
 //	etsim -exp fig3 -series-out s.json      # per-run health time series
 //	etsim -exp all -pprof localhost:6060    # live pprof + expvar server
+//
+// Profiling (see also `make profile`):
+//
+//	etsim -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -35,6 +39,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"envirotrack"
@@ -77,6 +83,8 @@ func main() {
 	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
 
 	if err := eval.SetParallelism(*parallel); err != nil {
@@ -90,10 +98,52 @@ func main() {
 			}
 		}()
 	}
-	if err := run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "etsim:", err)
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "etsim:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "etsim: cpu profile:", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	runErr := run(cfg)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "etsim: cpu profile:", err)
+			os.Exit(2)
+		}
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "etsim:", err)
+			os.Exit(2)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "etsim:", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeHeapProfile snapshots the post-run heap, after a GC so the profile
+// reflects live retention rather than transient garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 func run(cfg config) error {

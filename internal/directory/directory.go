@@ -18,6 +18,7 @@ import (
 	"envirotrack/internal/obs"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/routing"
+	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
 )
 
@@ -136,7 +137,7 @@ type Service struct {
 type pendingQuery struct {
 	cb       func([]Entry)
 	attempts int
-	timer    interface{ Stop() bool }
+	timer    simtime.Timer
 }
 
 // NewService attaches a directory service to the mote's router.
@@ -266,9 +267,7 @@ func (s *Service) handle(msg routing.Message) bool {
 	case replyMsg:
 		if pq, ok := s.pending[p.QueryID]; ok {
 			delete(s.pending, p.QueryID)
-			if pq.timer != nil {
-				pq.timer.Stop()
-			}
+			pq.timer.Stop()
 			pq.cb(p.Entries)
 		}
 		return true

@@ -7,10 +7,19 @@
 // leader weights (member messages received to date) suppress spurious
 // labels; and an explicit relinquish mechanism hands leadership over when
 // the leader stops sensing the tracked event.
+//
+// The manager is heartbeat-churn heavy (every heartbeat heard re-arms the
+// member receive timer and may schedule a jittered rebroadcast), so the
+// per-heartbeat path is allocation-free: timer callbacks are precomputed
+// once at construction, dedup keys are built in a scratch buffer and only
+// materialized as map keys on first sight of a (label, leader) pair, and
+// pending rebroadcast records are pooled on a per-manager free list.
 package group
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"time"
 
 	"envirotrack/internal/mote"
@@ -38,56 +47,115 @@ type Manager struct {
 	weight    uint64
 	state     []byte
 	hbSeq     uint64
-	hbTimer   *simtime.Timer
+	hbTimer   simtime.Timer
 	reporters map[radio.NodeID]time.Duration // member -> last report time
 
 	// Member state.
 	leaderID     radio.NodeID
 	lastWeight   uint64
 	lastState    []byte
-	receiveTimer *simtime.Timer
+	receiveTimer simtime.Timer
 	reportTicker *simtime.Ticker
-	reportDelay  *simtime.Timer
+	reportDelay  simtime.Timer
 
 	// Non-member state: memory of a nearby label.
-	waitTimer  *simtime.Timer
+	waitTimer  simtime.Timer
 	waitLabel  Label
 	waitLeader radio.NodeID
 	waitWeight uint64
 	waitState  []byte
 
 	// Label-creation backoff.
-	creationTimer *simtime.Timer
+	creationTimer simtime.Timer
 	labelSeq      int
 
-	// seenHB deduplicates heartbeat floods: highest Seq per (label, leader).
-	seenHB map[string]uint64
-	// pendingFwds tracks scheduled rebroadcasts for broadcast-storm
-	// suppression, keyed like seenHB.
-	pendingFwds map[string]*pendingForward
+	// seen tracks, per (label, leader) flood key, the highest heartbeat Seq
+	// received and any pending jittered rebroadcast awaiting its timer.
+	seen map[string]*hbState
+	// keyBuf is the scratch buffer flood keys are assembled in, so the map
+	// lookup on the heartbeat hot path allocates nothing; the key string is
+	// materialized only when a (label, leader) pair is first seen.
+	keyBuf []byte
+
+	// pfFree is the pendingForward free list (intrusive via next).
+	pfFree *pendingForward
+
+	// Timer callbacks are constructed once here rather than per arm, so the
+	// steady-state heartbeat/report/creation cycles schedule without
+	// allocating closures.
+	hbFire       simtime.Callback
+	recvFire     simtime.Callback
+	creationFire simtime.Callback
+	reportFirst  simtime.Callback
+	reportTick   simtime.Callback
+}
+
+// hbState is the per-(label, leader) flood bookkeeping.
+type hbState struct {
+	seq uint64          // highest heartbeat Seq received
+	pf  *pendingForward // scheduled rebroadcast, nil when none pending
 }
 
 // pendingForward is a jittered heartbeat rebroadcast awaiting its timer;
 // duplicate receptions during the wait increment dups and may suppress it.
+// Records are pooled: fired or superseded forwards return to the manager's
+// free list.
 type pendingForward struct {
+	g     *Manager
+	st    *hbState
 	seq   uint64
 	dups  int
-	timer *simtime.Timer
+	hb    Heartbeat // copy to rebroadcast, HopsPast already decremented
+	timer simtime.Timer
+	next  *pendingForward
 }
+
+// noopFire backs the wait timer, which only needs Pending() observation.
+var noopFire simtime.Callback = func() {}
 
 // NewManager attaches a group manager for ctxType to the mote. The ledger
 // may be nil to disable coherence tracing.
 func NewManager(m *mote.Mote, ctxType string, cfg Config, cb Callbacks, ledger *trace.Ledger) *Manager {
 	g := &Manager{
-		m:           m,
-		ctxType:     ctxType,
-		cfg:         cfg.withDefaults(),
-		cb:          cb,
-		ledger:      ledger,
-		role:        RoleNone,
-		reporters:   make(map[radio.NodeID]time.Duration),
-		seenHB:      make(map[string]uint64),
-		pendingFwds: make(map[string]*pendingForward),
+		m:         m,
+		ctxType:   ctxType,
+		cfg:       cfg.withDefaults(),
+		cb:        cb,
+		ledger:    ledger,
+		role:      RoleNone,
+		reporters: make(map[radio.NodeID]time.Duration),
+		seen:      make(map[string]*hbState),
+	}
+	g.hbFire = func() {
+		if g.m.Failed() || g.role != RoleLeader {
+			return
+		}
+		g.sendHeartbeat()
+		g.scheduleNextHeartbeat()
+	}
+	g.recvFire = g.onReceiveTimeout
+	g.creationFire = func() {
+		if g.m.Failed() || !g.sensing || g.role != RoleNone {
+			return
+		}
+		if g.waitTimer.Pending() {
+			g.joinWaitedLabel()
+			return
+		}
+		g.createLabel()
+	}
+	g.reportFirst = func() {
+		if g.m.Failed() || g.role != RoleMember {
+			return
+		}
+		g.sendReport()
+		g.startReportTicker()
+	}
+	g.reportTick = func() {
+		if g.m.Failed() || g.role != RoleMember {
+			return
+		}
+		g.sendReport()
 	}
 	m.AddFrameHandler(g.handleFrame)
 	return g
@@ -176,16 +244,7 @@ func (g *Manager) onStartSensing() {
 		return
 	}
 	backoff := time.Duration(g.m.Rand().Float64() * float64(g.cfg.CreationBackoff))
-	g.creationTimer = g.m.Scheduler().After(backoff, func() {
-		if g.m.Failed() || !g.sensing || g.role != RoleNone {
-			return
-		}
-		if g.waitTimer.Pending() {
-			g.joinWaitedLabel()
-			return
-		}
-		g.createLabel()
-	})
+	g.creationTimer = g.m.Scheduler().After(backoff, g.creationFire)
 }
 
 func (g *Manager) onStopSensing() {
@@ -232,13 +291,7 @@ func (g *Manager) becomeLeader(label Label, weight uint64, state []byte) {
 func (g *Manager) scheduleNextHeartbeat() {
 	jitter := 1 + g.cfg.JitterFrac*(g.m.Rand().Float64()-0.5)
 	d := time.Duration(float64(g.cfg.HeartbeatPeriod) * jitter)
-	g.hbTimer = g.m.Scheduler().After(d, func() {
-		if g.m.Failed() || g.role != RoleLeader {
-			return
-		}
-		g.sendHeartbeat()
-		g.scheduleNextHeartbeat()
-	})
+	g.hbTimer = g.m.Scheduler().After(d, g.hbFire)
 }
 
 func (g *Manager) sendHeartbeat() {
@@ -347,9 +400,9 @@ func (g *Manager) becomeMember(label Label, leader radio.NodeID, weight uint64, 
 }
 
 func (g *Manager) armReceiveTimer() {
-	g.stopTimer(&g.receiveTimer)
+	g.receiveTimer.Stop()
 	d := g.cfg.receiveTimeout(g.m.Rand().Float64())
-	g.receiveTimer = g.m.Scheduler().After(d, g.onReceiveTimeout)
+	g.receiveTimer = g.m.Scheduler().After(d, g.recvFire)
 }
 
 func (g *Manager) onReceiveTimeout() {
@@ -374,18 +427,17 @@ func (g *Manager) startReporting() {
 	// Desynchronize members: first report after a random fraction of the
 	// report period, then periodic.
 	first := time.Duration(g.m.Rand().Float64() * float64(g.cfg.ReportPeriod))
-	g.reportDelay = g.m.Scheduler().After(first, func() {
-		if g.m.Failed() || g.role != RoleMember {
-			return
-		}
-		g.sendReport()
-		g.reportTicker = simtime.NewTicker(g.m.Scheduler(), g.cfg.ReportPeriod, func() {
-			if g.m.Failed() || g.role != RoleMember {
-				return
-			}
-			g.sendReport()
-		})
-	})
+	g.reportDelay = g.m.Scheduler().After(first, g.reportFirst)
+}
+
+// startReportTicker begins the periodic report cycle, reusing the ticker
+// object across membership episodes.
+func (g *Manager) startReportTicker() {
+	if g.reportTicker == nil {
+		g.reportTicker = simtime.NewTicker(g.m.Scheduler(), g.cfg.ReportPeriod, g.reportTick)
+	} else {
+		g.reportTicker.Reset(g.cfg.ReportPeriod)
+	}
 }
 
 func (g *Manager) sendReport() {
@@ -401,7 +453,6 @@ func (g *Manager) stopReporting() {
 	g.stopTimer(&g.reportDelay)
 	if g.reportTicker != nil {
 		g.reportTicker.Stop()
-		g.reportTicker = nil
 	}
 }
 
@@ -426,15 +477,14 @@ func (g *Manager) rememberLabel(label Label, leader radio.NodeID, weight uint64,
 	g.waitLeader = leader
 	g.waitWeight = weight
 	g.waitState = state
-	g.stopTimer(&g.waitTimer)
-	g.waitTimer = g.m.Scheduler().After(g.cfg.waitTimeout(), func() {})
+	g.waitTimer.Stop()
+	g.waitTimer = g.m.Scheduler().After(g.cfg.waitTimeout(), noopFire)
 }
 
-func (g *Manager) stopTimer(t **simtime.Timer) {
-	if *t != nil {
-		(*t).Stop()
-		*t = nil
-	}
+// stopTimer cancels a timer and resets the handle to the inert zero value.
+func (g *Manager) stopTimer(t *simtime.Timer) {
+	t.Stop()
+	*t = simtime.Timer{}
 }
 
 // --- frame handling ---
@@ -466,17 +516,28 @@ func (g *Manager) handleFrame(f radio.Frame) bool {
 
 func (g *Manager) onHeartbeat(hb Heartbeat) {
 	// Deduplicate flood copies; duplicates feed the broadcast-storm
-	// suppression counter of a pending rebroadcast.
-	key := string(hb.Label) + "/" + fmt.Sprint(hb.Leader)
-	if last, ok := g.seenHB[key]; ok && hb.Seq <= last {
-		if pf, ok := g.pendingFwds[key]; ok && pf.seq == hb.Seq {
-			pf.dups++
+	// suppression counter of a pending rebroadcast. The flood key
+	// "<label>/<leader>" is assembled in the scratch buffer; Go's
+	// map-lookup-by-converted-byte-slice idiom keeps the common
+	// already-seen path allocation-free.
+	b := append(g.keyBuf[:0], hb.Label...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(hb.Leader), 10)
+	g.keyBuf = b
+	st, ok := g.seen[string(b)]
+	if ok && hb.Seq <= st.seq {
+		if st.pf != nil && st.pf.seq == hb.Seq {
+			st.pf.dups++
 		}
 		return
 	}
-	g.seenHB[key] = hb.Seq
+	if !ok {
+		st = &hbState{}
+		g.seen[string(b)] = st
+	}
+	st.seq = hb.Seq
 
-	g.forwardHeartbeat(key, hb)
+	g.forwardHeartbeat(st, hb)
 
 	switch g.role {
 	case RoleLeader:
@@ -496,43 +557,82 @@ func (g *Manager) onHeartbeat(hb Heartbeat) {
 // handovers start to fail. Rebroadcasts are jittered, and counter-based
 // broadcast-storm suppression cancels a pending rebroadcast when enough
 // copies are overheard first.
-func (g *Manager) forwardHeartbeat(key string, hb Heartbeat) {
+func (g *Manager) forwardHeartbeat(st *hbState, hb Heartbeat) {
 	if hb.Leader == g.m.ID() {
 		return
 	}
 	if hb.HopsPast <= 0 {
 		return
 	}
-	fwd := hb
-	fwd.HopsPast = hb.HopsPast - 1
-	if pf, ok := g.pendingFwds[key]; ok {
+	if old := st.pf; old != nil {
 		// A newer heartbeat supersedes the older pending rebroadcast.
-		pf.timer.Stop()
+		old.timer.Stop()
+		st.pf = nil
+		g.recyclePF(old)
 	}
-	pf := &pendingForward{seq: hb.Seq}
+	pf := g.acquirePF()
+	pf.g = g
+	pf.st = st
+	pf.seq = hb.Seq
+	pf.dups = 0
+	pf.hb = hb
+	pf.hb.HopsPast = hb.HopsPast - 1
 	delay := time.Duration(g.m.Rand().Float64() * float64(g.cfg.FloodJitter))
-	pf.timer = g.m.Scheduler().After(delay, func() {
-		delete(g.pendingFwds, key)
-		if g.m.Failed() {
-			return
-		}
-		if pf.dups >= g.cfg.FloodSuppress {
-			g.emit(obs.EvHeartbeatSuppressed, hb.Label, hb.Leader, hb.Seq)
-			return
-		}
-		g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(hb.State)*8, fwd)
-		g.emit(obs.EvHeartbeatForwarded, hb.Label, hb.Leader, hb.Seq)
-	})
-	g.pendingFwds[key] = pf
+	pf.timer = g.m.Scheduler().AfterEventTimer(delay, pendingForwardFire, pf)
+	st.pf = pf
 }
 
-// outranks reports whether the (weight, tiebreak) pair of a foreign
-// leadership beats ours.
-func outranks(otherWeight, myWeight uint64, otherTie, myTie string) bool {
+// pendingForwardFire runs a jittered rebroadcast when its timer expires.
+// It is a package-level EventFunc so scheduling it captures nothing.
+func pendingForwardFire(arg any) {
+	pf := arg.(*pendingForward)
+	g := pf.g
+	pf.st.pf = nil
+	if g.m.Failed() {
+		g.recyclePF(pf)
+		return
+	}
+	if pf.dups >= g.cfg.FloodSuppress {
+		g.emit(obs.EvHeartbeatSuppressed, pf.hb.Label, pf.hb.Leader, pf.hb.Seq)
+		g.recyclePF(pf)
+		return
+	}
+	label, leader, seq := pf.hb.Label, pf.hb.Leader, pf.hb.Seq
+	bits := g.cfg.HeartbeatBits + len(pf.hb.State)*8
+	fwd := pf.hb
+	g.recyclePF(pf)
+	g.m.Broadcast(trace.KindHeartbeat, bits, fwd)
+	g.emit(obs.EvHeartbeatForwarded, label, leader, seq)
+}
+
+func (g *Manager) acquirePF() *pendingForward {
+	if pf := g.pfFree; pf != nil {
+		g.pfFree = pf.next
+		pf.next = nil
+		return pf
+	}
+	return &pendingForward{}
+}
+
+func (g *Manager) recyclePF(pf *pendingForward) {
+	pf.st = nil
+	pf.hb = Heartbeat{}
+	pf.timer = simtime.Timer{}
+	pf.next = g.pfFree
+	g.pfFree = pf
+}
+
+// outranks reports whether the (weight, id) pair of a foreign leadership
+// beats ours. Equal weights are broken by comparing the decimal string
+// renderings of the ids — the protocol's historical lexical tiebreak —
+// without materializing the strings.
+func outranks(otherWeight, myWeight uint64, other, mine radio.NodeID) bool {
 	if otherWeight != myWeight {
 		return otherWeight > myWeight
 	}
-	return otherTie > myTie
+	var ob, mb [20]byte
+	return bytes.Compare(strconv.AppendInt(ob[:0], int64(other), 10),
+		strconv.AppendInt(mb[:0], int64(mine), 10)) > 0
 }
 
 // foreignOutranks decides between two *different* labels of the same
@@ -560,7 +660,7 @@ func (g *Manager) leaderOnHeartbeat(hb Heartbeat) {
 		// Two leaders within one context label: the lower-priority one
 		// yields immediately to prevent redundant behavior. (The chaosmut
 		// build suppresses the yield to prove the invariant checker.)
-		if !mutationSuppressYield && outranks(hb.Weight, g.weight, fmt.Sprint(hb.Leader), fmt.Sprint(g.m.ID())) {
+		if !mutationSuppressYield && outranks(hb.Weight, g.weight, hb.Leader, g.m.ID()) {
 			g.recordEvent(trace.LabelYield, g.label)
 			g.becomeMember(hb.Label, hb.Leader, hb.Weight, hb.State)
 		}

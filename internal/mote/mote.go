@@ -79,10 +79,24 @@ type Mote struct {
 	// CPU state.
 	busyUntil time.Duration
 	queued    int
+	// taskFree pools the CPU-queue completion records (intrusive list).
+	taskFree *cpuTask
+
+	// senseVals is the scratch buffer periodic scans sample into, reused
+	// every tick so steady-state sensing allocates nothing.
+	senseVals []float64
 
 	senseTicker *simtime.Ticker
 	started     bool
 	failed      bool
+}
+
+// cpuTask is one queued frame awaiting its CPU service-time completion.
+// Records are pooled per mote and recycled when the completion fires.
+type cpuTask struct {
+	m    *Mote
+	f    radio.Frame
+	next *cpuTask
 }
 
 // New registers a mote on the medium at the given position. The sensing
@@ -222,12 +236,15 @@ func (m *Mote) Broadcast(kind trace.Kind, bits int, payload any) {
 	m.Send(kind, radio.Broadcast, bits, payload)
 }
 
-// scan runs one sensing tick.
+// scan runs one sensing tick. It samples into the mote's reusable scratch
+// buffer; the reading handed to listeners is therefore valid only for the
+// duration of the callback (listeners extract values synchronously).
 func (m *Mote) scan() {
 	if m.failed {
 		return
 	}
-	rd := m.Sense()
+	rd, buf := m.model.SampleInto(m.field, int(m.id), m.pos, m.sched.Now(), m.senseVals[:0])
+	m.senseVals = buf
 	for _, l := range m.listeners {
 		l(rd)
 	}
@@ -262,13 +279,33 @@ func (m *Mote) onFrame(f radio.Frame) {
 	}
 	done := start + m.cfg.ServiceTime
 	m.busyUntil = done
-	m.sched.At(done, func() {
-		m.queued--
-		if m.failed {
-			return
-		}
-		m.dispatch(f)
-	})
+	t := m.acquireTask()
+	t.f = f
+	m.sched.AtEvent(done, cpuTaskDone, t)
+}
+
+// cpuTaskDone completes one frame's CPU service: the record is recycled
+// before dispatch, which may reenter the queue by sending frames.
+func cpuTaskDone(arg any) {
+	t := arg.(*cpuTask)
+	m, f := t.m, t.f
+	t.f = radio.Frame{}
+	t.next = m.taskFree
+	m.taskFree = t
+	m.queued--
+	if m.failed {
+		return
+	}
+	m.dispatch(f)
+}
+
+func (m *Mote) acquireTask() *cpuTask {
+	if t := m.taskFree; t != nil {
+		m.taskFree = t.next
+		t.next = nil
+		return t
+	}
+	return &cpuTask{m: m}
 }
 
 func (m *Mote) dispatch(f radio.Frame) {

@@ -58,8 +58,10 @@ const (
 )
 
 // eventNames maps types to their stable wire names (used in JSONL export
-// and metric label values).
-var eventNames = map[EventType]string{
+// and metric label values). Indexed by EventType: the JSONL sink calls
+// String() per event, so the lookup is a bounds-checked array load rather
+// than a map probe.
+var eventNames = [...]string{
 	EvHeartbeatSent:       "heartbeat_sent",
 	EvHeartbeatForwarded:  "heartbeat_forwarded",
 	EvHeartbeatSuppressed: "heartbeat_suppressed",
@@ -88,15 +90,15 @@ var eventNames = map[EventType]string{
 
 // String implements fmt.Stringer.
 func (t EventType) String() string {
-	if n, ok := eventNames[t]; ok {
-		return n
+	if int(t) < len(eventNames) && eventNames[t] != "" {
+		return eventNames[t]
 	}
 	return "EventType(" + strconv.Itoa(int(t)) + ")"
 }
 
 // EventTypes returns every defined event type in declaration order.
 func EventTypes() []EventType {
-	out := make([]EventType, 0, len(eventNames))
+	out := make([]EventType, 0, int(EvMoteRestored))
 	for t := EvHeartbeatSent; t <= EvMoteRestored; t++ {
 		out = append(out, t)
 	}

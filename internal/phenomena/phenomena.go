@@ -209,6 +209,21 @@ func (f *Field) Detections(kind string, pos geom.Point, t time.Duration) []*Targ
 	return out
 }
 
+// DetectsAny reports whether any active kind-k target covers position pos
+// at time t. It is the allocation-free form of len(Detections(...)) > 0,
+// which the periodic sensing scan evaluates on every mote every tick.
+func (f *Field) DetectsAny(kind string, pos geom.Point, t time.Duration) bool {
+	for _, tg := range f.targets {
+		if tg.Kind != kind || !tg.Active(t) {
+			continue
+		}
+		if tg.PositionAt(t).Within(pos, tg.SignatureRadius) {
+			return true
+		}
+	}
+	return false
+}
+
 // Intensity returns the summed sensory intensity of kind-k targets at
 // position pos and time t, using an inverse-cube law (the attenuation of
 // magnetic disturbances cited in Section 6.1). Intensity at distances below

@@ -4,6 +4,14 @@
 // corruption. There is no MAC-layer reliability, matching the paper's
 // observation that "no reliability is implemented in the MAC layer of the
 // MICA motes"; collisions therefore grow with offered traffic.
+//
+// The send/receive path is the hottest code in the simulator (every frame
+// fans out to O(neighbors) receptions), so it is allocation-free in steady
+// state: reception, transmission, and CSMA-retry records are pooled on
+// intrusive free lists, their completion events are scheduled through the
+// scheduler's typed-payload API (no closure captures), spatial queries
+// append into reusable scratch, and cell buckets are kept id-sorted at
+// insert so range queries merge instead of sorting per call.
 package radio
 
 import (
@@ -11,7 +19,6 @@ import (
 	"math"
 	"math/rand"
 	"slices"
-	"sort"
 	"time"
 
 	"envirotrack/internal/geom"
@@ -122,20 +129,37 @@ type Medium struct {
 	bus    *obs.Bus
 
 	nodes map[NodeID]*nodeState
-	order []NodeID // deterministic iteration order
+	order []NodeID // node ids, kept ascending by insertion-time merge
 	// faults, when non-nil, overrides loss probability, severs partitioned
 	// links, and duplicates frames (chaos harness). Nil in nominal runs.
 	faults FaultInjector
 
 	// cells is the spatial hash: nodes bucketed by grid cell of size
 	// cellSize (= CommRadius, or 1 when CommRadius is unset). Entries
-	// carry the position so range filtering never touches the nodes map.
+	// carry the position so range filtering never touches the nodes map,
+	// and each bucket is kept id-sorted at insert so queries k-way merge
+	// the candidate buckets instead of sorting per call.
 	cells    map[cellKey][]cellEntry
 	cellSize float64
 	// neighbors caches Neighbors results per node. AddNode invalidates it
 	// granularly: only entries of nodes within CommRadius of the new node
 	// (the only lists the newcomer can appear in) are dropped.
 	neighbors map[NodeID][]NodeID
+
+	// Query scratch, reused across calls (the medium is single-threaded).
+	queryBuckets [][]cellEntry
+	queryCur     []int
+	scratchIDs   []NodeID
+
+	// Free lists pooling the per-frame records of the send path.
+	rxFree *reception
+	txFree *transmission
+	psFree *pendingSend
+
+	// Airtime memo for the handful of fixed frame sizes a run uses.
+	airtimeBits [8]int
+	airtimeDur  [8]time.Duration
+	airtimeN    int
 }
 
 // cellKey addresses one bucket of the spatial hash.
@@ -158,16 +182,41 @@ type nodeState struct {
 	rx []*reception
 }
 
+// reception is one frame occupying one receiver's channel. Records are
+// pooled: a reception is recycled once it is out of the receiver's rx list
+// (inList) and its delivery event, if any, has fired (hasEvent).
 type reception struct {
 	start     time.Duration
 	end       time.Duration
 	corrupted bool
+	lost      bool // iid loss, drawn at schedule time
+	inList    bool
+	hasEvent  bool
+	m         *Medium
+	dst       *nodeState
+	f         Frame
+	tx        *transmission
+	next      *reception
 }
 
 // transmission tracks whether any receiver got a copy, for the paper's
-// "sent but never received on any other mote" loss metric.
+// "sent but never received on any other mote" loss metric. Pooled; the
+// undelivered-check event fires after every delivery of the frame (same
+// timestamp, later seq) and recycles the record.
 type transmission struct {
 	delivered int
+	m         *Medium
+	f         Frame
+	pos       geom.Point
+	next      *transmission
+}
+
+// pendingSend is a CSMA-deferred frame awaiting its backoff timer. Pooled.
+type pendingSend struct {
+	m       *Medium
+	f       Frame
+	attempt int
+	next    *pendingSend
 }
 
 // New creates a medium on the given scheduler. rng must not be nil; stats
@@ -202,18 +251,31 @@ func (m *Medium) SetObserver(bus *obs.Bus) { m.bus = bus }
 // AddNode registers a stationary node. It returns an error if the id is
 // already present. Registration is the only topology mutation the medium
 // supports (nodes never move or deregister), so it inserts the node into
-// the spatial hash and invalidates exactly the cached neighbor lists the
+// the spatial hash — keeping both the global order and its cell bucket
+// sorted by id — and invalidates exactly the cached neighbor lists the
 // newcomer joins: those of nodes within CommRadius of pos.
 func (m *Medium) AddNode(id NodeID, pos geom.Point, recv Receiver) error {
 	if _, ok := m.nodes[id]; ok {
 		return fmt.Errorf("radio: node %d already registered", id)
 	}
 	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
-	m.order = append(m.order, id)
-	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+	i, _ := slices.BinarySearch(m.order, id)
+	m.order = slices.Insert(m.order, i, id)
 	key := m.cellOf(pos)
-	m.cells[key] = append(m.cells[key], cellEntry{id: id, pos: pos})
-	for _, nid := range m.nodesWithin(pos, m.params.CommRadius) {
+	bucket := m.cells[key]
+	j, _ := slices.BinarySearchFunc(bucket, id, func(e cellEntry, id NodeID) int {
+		switch {
+		case e.id < id:
+			return -1
+		case e.id > id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	m.cells[key] = slices.Insert(bucket, j, cellEntry{id: id, pos: pos})
+	m.scratchIDs = m.appendNodesWithin(m.scratchIDs[:0], pos, m.params.CommRadius)
+	for _, nid := range m.scratchIDs {
 		delete(m.neighbors, nid)
 	}
 	return nil
@@ -227,14 +289,17 @@ func (m *Medium) cellOf(p geom.Point) cellKey {
 	}
 }
 
-// nodesWithin resolves all node ids within radius r of p (inclusive), in
-// ascending id order, by scanning only the spatial-hash cells that
-// intersect the query disk. When the query radius is so large that the
-// cell window exceeds the node count, it falls back to the linear scan,
-// bounding the cost at O(n).
-func (m *Medium) nodesWithin(p geom.Point, r float64) []NodeID {
+// appendNodesWithin appends all node ids within radius r of p (inclusive),
+// in ascending id order, to dst and returns the extended slice. It scans
+// only the spatial-hash cells intersecting the query disk; because buckets
+// are id-sorted at insert and a node lives in exactly one bucket, the
+// results come out of a k-way merge with no per-call sort. When the query
+// radius is so large that the cell window exceeds the node count, it falls
+// back to the linear scan over the (sorted) global order, bounding the
+// cost at O(n).
+func (m *Medium) appendNodesWithin(dst []NodeID, p geom.Point, r float64) []NodeID {
 	if r < 0 {
-		return nil
+		return dst
 	}
 	x0 := int(math.Floor((p.X - r) / m.cellSize))
 	x1 := int(math.Floor((p.X + r) / m.cellSize))
@@ -242,42 +307,54 @@ func (m *Medium) nodesWithin(p geom.Point, r float64) []NodeID {
 	y1 := int(math.Floor((p.Y + r) / m.cellSize))
 	spanX, spanY := x1-x0+1, y1-y0+1
 	if spanX > len(m.order) || spanY > len(m.order) || spanX*spanY > len(m.order) {
-		var out []NodeID
 		for _, id := range m.order {
 			if m.nodes[id].pos.Within(p, r) {
-				out = append(out, id)
+				dst = append(dst, id)
 			}
 		}
-		return out
+		return dst
 	}
-	// Gather the candidate buckets first so the result is allocated once,
-	// sized to the candidate count.
-	var bucketArr [16][]cellEntry
-	buckets, total := bucketArr[:0], 0
+	buckets, cur := m.queryBuckets[:0], m.queryCur[:0]
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
 			if c := m.cells[cellKey{x: x, y: y}]; len(c) > 0 {
 				buckets = append(buckets, c)
-				total += len(c)
+				cur = append(cur, 0)
 			}
 		}
 	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]NodeID, 0, total)
-	for _, c := range buckets {
-		for _, e := range c {
-			if e.pos.Within(p, r) {
-				out = append(out, e.id)
-			}
+	m.queryBuckets, m.queryCur = buckets, cur
+	// Each cursor rests on its bucket's next in-range entry (or past the
+	// end), so Within is evaluated exactly once per candidate.
+	for i := range buckets {
+		for cur[i] < len(buckets[i]) && !buckets[i][cur[i]].pos.Within(p, r) {
+			cur[i]++
 		}
 	}
-	if len(out) == 0 {
-		return nil
+	for {
+		best := -1
+		for i := range buckets {
+			if cur[i] < len(buckets[i]) &&
+				(best < 0 || buckets[i][cur[i]].id < buckets[best][cur[best]].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, buckets[best][cur[best]].id)
+		cur[best]++
+		for cur[best] < len(buckets[best]) && !buckets[best][cur[best]].pos.Within(p, r) {
+			cur[best]++
+		}
 	}
-	slices.Sort(out)
-	return out
+	// Drop the bucket references so retained scratch can't pin stale views
+	// of buckets that later inserts reallocate.
+	for i := range buckets {
+		buckets[i] = nil
+	}
+	m.queryBuckets = buckets[:0]
+	return dst
 }
 
 // Position returns a node's location.
@@ -301,7 +378,7 @@ func (m *Medium) NodeIDs() []NodeID {
 // the topology only mutates at registration time (AddNode), which drops
 // exactly the cached lists the new node appears in. Resolution goes
 // through the spatial hash, so an uncached lookup costs O(neighbors), not
-// O(total nodes).
+// O(total nodes). Callers must not mutate the returned slice.
 func (m *Medium) Neighbors(id NodeID) []NodeID {
 	if nb, ok := m.neighbors[id]; ok {
 		return nb
@@ -310,25 +387,40 @@ func (m *Medium) Neighbors(id NodeID) []NodeID {
 	if !ok {
 		return nil
 	}
-	within := m.nodesWithin(n.pos, m.params.CommRadius)
-	nb := within[:0]
-	for _, other := range within {
+	m.scratchIDs = m.appendNodesWithin(m.scratchIDs[:0], n.pos, m.params.CommRadius)
+	count := 0
+	for _, other := range m.scratchIDs {
 		if other != id {
-			nb = append(nb, other)
+			count++
 		}
 	}
-	if len(nb) == 0 {
-		nb = nil
+	var nb []NodeID
+	if count > 0 {
+		nb = make([]NodeID, 0, count)
+		for _, other := range m.scratchIDs {
+			if other != id {
+				nb = append(nb, other)
+			}
+		}
 	}
 	m.neighbors[id] = nb
 	return nb
 }
 
-// NodesNear returns node ids within radius r of point p, ascending. It is
-// served by the spatial hash: cost is proportional to the nodes found
-// (plus the cell window), not the field size.
+// NodesNear returns node ids within radius r of point p, ascending, in a
+// freshly allocated slice. It is served by the spatial hash: cost is
+// proportional to the nodes found (plus the cell window), not the field
+// size. Hot paths should prefer AppendNodesNear with reused scratch.
 func (m *Medium) NodesNear(p geom.Point, r float64) []NodeID {
-	return m.nodesWithin(p, r)
+	return m.appendNodesWithin(nil, p, r)
+}
+
+// AppendNodesNear appends the node ids within radius r of p (inclusive,
+// ascending) to dst and returns the extended slice, allocating only when
+// dst lacks capacity. It is the scratch-slice variant of NodesNear for
+// per-event callers: pass the previous call's slice re-sliced to [:0].
+func (m *Medium) AppendNodesNear(dst []NodeID, p geom.Point, r float64) []NodeID {
+	return m.appendNodesWithin(dst, p, r)
 }
 
 // InRange reports whether b is within communication radius of a.
@@ -345,11 +437,81 @@ func (m *Medium) InRange(a, b NodeID) bool {
 }
 
 // Airtime returns the channel occupancy of a frame of the given size.
+// A run uses a handful of fixed frame sizes, so the division is memoized.
 func (m *Medium) Airtime(bits int) time.Duration {
 	if bits <= 0 {
 		bits = DefaultFrameBits
 	}
-	return time.Duration(float64(bits) / m.params.BitRate * float64(time.Second))
+	for i := 0; i < m.airtimeN; i++ {
+		if m.airtimeBits[i] == bits {
+			return m.airtimeDur[i]
+		}
+	}
+	d := time.Duration(float64(bits) / m.params.BitRate * float64(time.Second))
+	if m.airtimeN < len(m.airtimeBits) {
+		m.airtimeBits[m.airtimeN] = bits
+		m.airtimeDur[m.airtimeN] = d
+		m.airtimeN++
+	}
+	return d
+}
+
+// --- record pools ---
+
+func (m *Medium) acquireRX() *reception {
+	if rx := m.rxFree; rx != nil {
+		m.rxFree = rx.next
+		*rx = reception{m: m}
+		return rx
+	}
+	return &reception{m: m}
+}
+
+func (m *Medium) recycleRX(rx *reception) {
+	rx.dst = nil
+	rx.f = Frame{}
+	rx.tx = nil
+	rx.next = m.rxFree
+	m.rxFree = rx
+}
+
+// releaseFromList is called when a reception leaves its receiver's rx
+// list; the record recycles once the delivery event (if any) has fired.
+func (m *Medium) releaseFromList(rx *reception) {
+	rx.inList = false
+	if !rx.hasEvent {
+		m.recycleRX(rx)
+	}
+}
+
+func (m *Medium) acquireTX() *transmission {
+	if tx := m.txFree; tx != nil {
+		m.txFree = tx.next
+		*tx = transmission{m: m}
+		return tx
+	}
+	return &transmission{m: m}
+}
+
+func (m *Medium) recycleTX(tx *transmission) {
+	tx.f = Frame{}
+	tx.next = m.txFree
+	m.txFree = tx
+}
+
+func (m *Medium) acquirePS() *pendingSend {
+	if ps := m.psFree; ps != nil {
+		m.psFree = ps.next
+		ps.next = nil
+		return ps
+	}
+	return &pendingSend{m: m}
+}
+
+func (m *Medium) recyclePS(ps *pendingSend) {
+	ps.f = Frame{}
+	ps.next = m.psFree
+	m.psFree = ps
 }
 
 // Send transmits a frame from f.Src. The sender carrier-senses first:
@@ -383,6 +545,7 @@ func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
 	kept := n.rx[:0]
 	for _, r := range n.rx {
 		if r.end <= now {
+			m.releaseFromList(r)
 			continue
 		}
 		kept = append(kept, r)
@@ -390,8 +553,19 @@ func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
 			busy = r.end
 		}
 	}
+	for i := len(kept); i < len(n.rx); i++ {
+		n.rx[i] = nil
+	}
 	n.rx = kept
 	return busy
+}
+
+// pendingSendFire retries a CSMA-deferred frame when its backoff expires.
+func pendingSendFire(arg any) {
+	ps := arg.(*pendingSend)
+	m, f, attempt := ps.m, ps.f, ps.attempt
+	m.recyclePS(ps)
+	m.trySend(f, attempt)
 }
 
 func (m *Medium) trySend(f Frame, attempt int) {
@@ -407,7 +581,10 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	if !m.params.DisableCSMA && attempt < maxCSMAAttempts {
 		if busyUntil := m.channelBusyUntil(src); busyUntil > now {
 			backoff := time.Duration(m.rng.Float64() * float64(m.params.CSMASlot) * float64(uint(1)<<uint(min(attempt, 4))))
-			m.sched.At(busyUntil+backoff, func() { m.trySend(f, attempt+1) })
+			ps := m.acquirePS()
+			ps.f = f
+			ps.attempt = attempt + 1
+			m.sched.AtEvent(busyUntil+backoff, pendingSendFire, ps)
 			return
 		}
 	}
@@ -430,7 +607,7 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		})
 	}
 
-	tx := &transmission{}
+	tx := m.acquireTX()
 	intended := 0
 	// Neighbors is exactly the in-range receiver set in ascending id
 	// order — the same nodes the old full-field scan selected — and it is
@@ -449,22 +626,35 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		m.scheduleReception(dst, f, tx, start, end, isTarget)
 	}
 	if intended == 0 {
-		// Nobody could ever receive it: record immediately.
+		// Nobody could ever receive it: record immediately. No target
+		// reception references tx, so it recycles here.
 		if m.stats != nil {
 			m.stats.RecordUndelivered(f.Kind)
 		}
 		m.emitUndelivered(m.sched.Now(), f, src.pos)
+		m.recycleTX(tx)
 		return
 	}
-	// After the last possible delivery, check whether anyone got it.
-	m.sched.At(end+m.params.PropDelay, func() {
-		if tx.delivered == 0 {
-			if m.stats != nil {
-				m.stats.RecordUndelivered(f.Kind)
-			}
-			m.emitUndelivered(m.sched.Now(), f, src.pos)
+	// After the last possible delivery, check whether anyone got it. The
+	// deliveries share this timestamp but were scheduled first, so they
+	// fire first and the check observes the final delivered count.
+	tx.f = f
+	tx.pos = src.pos
+	m.sched.AtEvent(end+m.params.PropDelay, transmissionDone, tx)
+}
+
+// transmissionDone runs the undelivered check after a frame's last
+// possible delivery and returns the transmission record to the pool.
+func transmissionDone(arg any) {
+	tx := arg.(*transmission)
+	m := tx.m
+	if tx.delivered == 0 {
+		if m.stats != nil {
+			m.stats.RecordUndelivered(tx.f.Kind)
 		}
-	})
+		m.emitUndelivered(m.sched.Now(), tx.f, tx.pos)
+	}
+	m.recycleTX(tx)
 }
 
 // scheduleReception models the frame occupying the channel at the receiver
@@ -472,7 +662,8 @@ func (m *Medium) trySend(f Frame, attempt int) {
 // Non-target receivers still experience channel occupancy (their concurrent
 // receptions collide) but do not receive or account the frame.
 func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, start, end time.Duration, isTarget bool) {
-	rx := &reception{start: start, end: end}
+	rx := m.acquireRX()
+	rx.start, rx.end = start, end
 
 	if !m.params.DisableCollisions {
 		// Corrupt any overlapping in-flight receptions, and this one.
@@ -480,7 +671,12 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 		for _, other := range dst.rx {
 			if other.end > m.sched.Now() || other.end >= start {
 				kept = append(kept, other)
+			} else {
+				m.releaseFromList(other)
 			}
+		}
+		for i := len(kept); i < len(dst.rx); i++ {
+			dst.rx[i] = nil
 		}
 		dst.rx = kept
 		for _, other := range dst.rx {
@@ -490,6 +686,7 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 			}
 		}
 	}
+	rx.inList = true
 	dst.rx = append(dst.rx, rx)
 
 	if !isTarget {
@@ -503,30 +700,50 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 		// draw-for-draw until the first divergent outcome.
 		lossProb = m.faults.LossProb(start, lossProb)
 	}
-	lost := m.rng.Float64() < lossProb
-	m.sched.At(end+m.params.PropDelay, func() {
-		switch {
-		case rx.corrupted:
-			if m.stats != nil {
-				m.stats.RecordLoss(f.Kind, trace.LossCollision)
-			}
-			m.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
-		case lost:
-			if m.stats != nil {
-				m.stats.RecordLoss(f.Kind, trace.LossRandom)
-			}
-			m.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
-		default:
-			tx.delivered++
-			if m.stats != nil {
-				m.stats.RecordReceive(f.Kind)
-			}
-			m.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
-			if dst.recv != nil {
-				dst.recv(f)
-			}
+	rx.lost = m.rng.Float64() < lossProb
+	rx.dst = dst
+	rx.f = f
+	rx.tx = tx
+	rx.hasEvent = true
+	m.sched.AtEvent(end+m.params.PropDelay, receptionDone, rx)
+}
+
+// receptionDone resolves one target reception at its arrival time:
+// collision corruption, iid loss, or delivery to the receiver callback.
+// Pool bookkeeping happens before the receiver callback runs, because the
+// callback may send frames that reenter the medium and prune rx lists.
+func receptionDone(arg any) {
+	rx := arg.(*reception)
+	m, dst, f, tx := rx.m, rx.dst, rx.f, rx.tx
+	corrupted, lost := rx.corrupted, rx.lost
+	rx.hasEvent = false
+	rx.dst = nil
+	rx.f = Frame{}
+	rx.tx = nil
+	if !rx.inList {
+		m.recycleRX(rx)
+	}
+	switch {
+	case corrupted:
+		if m.stats != nil {
+			m.stats.RecordLoss(f.Kind, trace.LossCollision)
 		}
-	})
+		m.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
+	case lost:
+		if m.stats != nil {
+			m.stats.RecordLoss(f.Kind, trace.LossRandom)
+		}
+		m.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
+	default:
+		tx.delivered++
+		if m.stats != nil {
+			m.stats.RecordReceive(f.Kind)
+		}
+		m.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
+		if dst.recv != nil {
+			dst.recv(f)
+		}
+	}
 }
 
 // emitAtReceiver publishes a reception-side frame event (received/lost)

@@ -93,6 +93,82 @@ func TestSpatialHashMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestSpatialHashOutOfOrderRegistration registers ids in shuffled order,
+// exercising the sorted-insert path of both the global order and the cell
+// buckets (ascending registration only ever appends). Bucket sortedness is
+// what lets queries merge instead of sorting per call, so it is asserted
+// directly alongside the brute-force equivalence.
+func TestSpatialHashOutOfOrderRegistration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		radius := 0.25 + rng.Float64()*4
+		m := New(simtime.NewScheduler(), Params{CommRadius: radius}, rng, nil)
+		n := 3 + rng.Intn(120)
+		ids := rng.Perm(n)
+		pos := make(map[NodeID]geom.Point, n)
+		for _, i := range ids {
+			id := NodeID(i)
+			p := geom.Pt(rng.Float64()*24-8, rng.Float64()*24-8)
+			if err := m.AddNode(id, p, nil); err != nil {
+				t.Fatal(err)
+			}
+			pos[id] = p
+		}
+		for key, bucket := range m.cells {
+			for i := 1; i < len(bucket); i++ {
+				if bucket[i-1].id >= bucket[i].id {
+					t.Fatalf("trial %d: bucket %v not id-sorted: %v then %v",
+						trial, key, bucket[i-1].id, bucket[i].id)
+				}
+			}
+		}
+		for i := 1; i < len(m.order); i++ {
+			if m.order[i-1] >= m.order[i] {
+				t.Fatalf("trial %d: order not sorted at %d", trial, i)
+			}
+		}
+		for id := NodeID(0); int(id) < n; id++ {
+			if got, want := m.Neighbors(id), bruteNeighbors(pos, id, radius); !sameIDs(got, want) {
+				t.Fatalf("trial %d: Neighbors(%d) = %v, want %v", trial, id, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendNodesNearReusesScratch checks the scratch-slice contract: the
+// results match NodesNear, land after any existing dst contents, and a
+// reused buffer with sufficient capacity is not reallocated.
+func TestAppendNodesNearReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(simtime.NewScheduler(), Params{CommRadius: 2}, rng, nil)
+	for i := 0; i < 40; i++ {
+		if err := m.AddNode(NodeID(i), geom.Pt(float64(i%8), float64(i/8)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := geom.Pt(3, 2)
+	want := m.NodesNear(probe, 2.5)
+	if len(want) == 0 {
+		t.Fatal("probe found no nodes; bad test geometry")
+	}
+
+	prefixed := m.AppendNodesNear([]NodeID{99}, probe, 2.5)
+	if prefixed[0] != 99 || !sameIDs(prefixed[1:], want) {
+		t.Fatalf("AppendNodesNear kept %v, want [99]+%v", prefixed, want)
+	}
+
+	scratch := make([]NodeID, 0, len(want)+8)
+	for rep := 0; rep < 5; rep++ {
+		got := m.AppendNodesNear(scratch[:0], probe, 2.5)
+		if !sameIDs(got, want) {
+			t.Fatalf("rep %d: AppendNodesNear = %v, want %v", rep, got, want)
+		}
+		if &got[0] != &scratch[:1][0] {
+			t.Fatalf("rep %d: scratch with capacity %d was reallocated", rep, cap(scratch))
+		}
+	}
+}
+
 // TestNeighborsUnknownNodeNotCached preserves the pre-index contract:
 // querying an unregistered id returns nil and does not poison the cache.
 func TestNeighborsUnknownNodeNotCached(t *testing.T) {

@@ -62,6 +62,27 @@ type Router struct {
 	Drops uint64
 	// Forwards counts messages this node relayed.
 	Forwards uint64
+	// ldFree pools local-delivery records (intrusive list).
+	ldFree *localDelivery
+}
+
+// localDelivery carries a self-addressed message through its zero-delay
+// scheduler hop. Records are pooled per router.
+type localDelivery struct {
+	r    *Router
+	msg  Message
+	next *localDelivery
+}
+
+// localDeliveryFire completes a self-addressed Send. The record recycles
+// before delivery, which may send (and self-deliver) further messages.
+func localDeliveryFire(arg any) {
+	ld := arg.(*localDelivery)
+	r, msg := ld.r, ld.msg
+	ld.msg = Message{}
+	ld.next = r.ldFree
+	r.ldFree = ld
+	r.deliverLocal(msg)
 }
 
 // NewRouter attaches a router to the mote. Delivery consumers are added
@@ -96,7 +117,15 @@ func (r *Router) Send(msg Message) {
 	}
 	env := envelope{Msg: msg}
 	if r.isDestination(msg) {
-		r.m.Scheduler().After(0, func() { r.deliverLocal(msg) })
+		ld := r.ldFree
+		if ld != nil {
+			r.ldFree = ld.next
+			ld.next = nil
+		} else {
+			ld = &localDelivery{r: r}
+		}
+		ld.msg = msg
+		r.m.Scheduler().AfterEvent(0, localDeliveryFire, ld)
 		return
 	}
 	r.forward(env)

@@ -16,18 +16,44 @@ import (
 	"envirotrack/internal/phenomena"
 )
 
-// Reading is one sample of a mote's local environment.
+// Reading is one sample of a mote's local environment. Readings produced
+// by Model.SampleInto are backed by the model's sorted name table and the
+// caller's value scratch (valid until the caller's next scan); the public
+// Values map remains as a construction convenience for tests and ad-hoc
+// readings.
 type Reading struct {
 	At       time.Duration
 	MoteID   int
 	Position geom.Point
 	Values   map[string]float64
+	// Slice-backed representation used by the sampling hot path: parallel
+	// name/value tables, names sorted ascending.
+	names []string
+	vals  []float64
 }
 
 // Value returns the named channel's sample.
 func (r Reading) Value(name string) (float64, bool) {
-	v, ok := r.Values[name]
-	return v, ok
+	if r.Values != nil {
+		v, ok := r.Values[name]
+		return v, ok
+	}
+	// The name table is sorted but tiny (a handful of channels), so a
+	// linear scan beats a binary search's branch overhead.
+	for i, n := range r.names {
+		if n == name {
+			return r.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Channels returns the number of sampled channels.
+func (r Reading) Channels() int {
+	if r.Values != nil {
+		return len(r.Values)
+	}
+	return len(r.names)
 }
 
 // ChannelFunc computes a scalar channel value at a position and time from
@@ -39,7 +65,7 @@ type ChannelFunc func(f *phenomena.Field, pos geom.Point, t time.Duration) float
 // paper's testbed.
 func DetectionChannel(kind string) ChannelFunc {
 	return func(f *phenomena.Field, pos geom.Point, t time.Duration) float64 {
-		if len(f.Detections(kind, pos, t)) > 0 {
+		if f.DetectsAny(kind, pos, t) {
 			return 1
 		}
 		return 0
@@ -79,24 +105,34 @@ func WithNoise(fn ChannelFunc, stddev float64, rng *rand.Rand) ChannelFunc {
 	}
 }
 
-// Model is a mote's sensing suite: a set of named channels sampled together.
+// Model is a mote's sensing suite: a set of named channels sampled
+// together. Channels are stored as parallel sorted name/function tables so
+// that sampling walks a slice instead of a map; a model may be shared by
+// every mote in a network, so it owns no sampling scratch — callers pass
+// their own via SampleInto.
 type Model struct {
-	names    []string
-	channels map[string]ChannelFunc
+	names []string
+	fns   []ChannelFunc
 }
 
 // NewModel returns an empty sensing model.
 func NewModel() *Model {
-	return &Model{channels: make(map[string]ChannelFunc)}
+	return &Model{}
 }
 
 // SetChannel installs or replaces a named channel.
 func (m *Model) SetChannel(name string, fn ChannelFunc) {
-	if _, ok := m.channels[name]; !ok {
-		m.names = append(m.names, name)
-		sort.Strings(m.names)
+	i := sort.SearchStrings(m.names, name)
+	if i < len(m.names) && m.names[i] == name {
+		m.fns[i] = fn
+		return
 	}
-	m.channels[name] = fn
+	m.names = append(m.names, "")
+	copy(m.names[i+1:], m.names[i:])
+	m.names[i] = name
+	m.fns = append(m.fns, nil)
+	copy(m.fns[i+1:], m.fns[i:])
+	m.fns[i] = fn
 }
 
 // Channels returns the channel names in sorted order.
@@ -106,13 +142,28 @@ func (m *Model) Channels() []string {
 	return out
 }
 
-// Sample evaluates every channel at the given position and time.
+// NumChannels returns the number of installed channels (the capacity a
+// SampleInto scratch buffer needs).
+func (m *Model) NumChannels() int { return len(m.names) }
+
+// Sample evaluates every channel at the given position and time into a
+// freshly allocated reading.
 func (m *Model) Sample(f *phenomena.Field, moteID int, pos geom.Point, t time.Duration) Reading {
-	vals := make(map[string]float64, len(m.channels))
-	for name, fn := range m.channels {
-		vals[name] = fn(f, pos, t)
+	rd, _ := m.SampleInto(f, moteID, pos, t, nil)
+	return rd
+}
+
+// SampleInto evaluates every channel at the given position and time,
+// appending the values to buf (typically the previous scan's buffer
+// re-sliced to [:0]) so steady-state sampling allocates nothing. It
+// returns the reading and the extended buffer for reuse; the reading
+// aliases the buffer and is valid until the buffer's next reuse. Channels
+// are evaluated in sorted name order.
+func (m *Model) SampleInto(f *phenomena.Field, moteID int, pos geom.Point, t time.Duration, buf []float64) (Reading, []float64) {
+	for _, fn := range m.fns {
+		buf = append(buf, fn(f, pos, t))
 	}
-	return Reading{At: t, MoteID: moteID, Position: pos, Values: vals}
+	return Reading{At: t, MoteID: moteID, Position: pos, names: m.names, vals: buf}, buf
 }
 
 // VehicleModel is a convenience preset: a magnetometer suite detecting

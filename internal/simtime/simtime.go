@@ -3,10 +3,34 @@
 // and wait timers, message airtime, CPU service times) is expressed as
 // events on a single virtual clock, which makes runs deterministic and lets
 // experiments cover minutes of simulated time in milliseconds of wall time.
+//
+// The scheduler is built to be allocation-free in steady state, because the
+// group protocol is timer-dominated: every heartbeat a member hears stops
+// and re-arms its receive timer, so a sweep-scale run cycles through tens of
+// thousands of timers. Three design choices make that churn cheap:
+//
+//   - Events are stored by value in a 4-ary min-heap keyed on (at, seq);
+//     nothing is allocated per scheduled event once the heap has grown to
+//     the run's working size.
+//   - Timer handles are value types that reference a pooled slot inside the
+//     scheduler. Slots are recycled through an intrusive free list, and a
+//     generation counter guards against ABA: a handle that has fired or
+//     been stopped can never fire, stop, or observe the slot's next tenant.
+//   - Cancellation is lazy. Stop marks the slot released in O(1) and leaves
+//     a tombstone in the heap, which is discarded when it reaches the top.
+//     The heartbeat-churn Stop+After cycle is therefore O(1) amortized
+//     instead of an O(log n) heap removal, and a tombstone lives at most
+//     until its original deadline (or until a compaction sweep reclaims it
+//     early when tombstones outnumber live events).
+//
+// Because tombstones are invisible to Step/RunUntil, the total firing order
+// of live events is exactly the (at, seq) order the previous eager-removal
+// scheduler produced, bit for bit — the determinism guarantees of seeded
+// runs are unaffected. TestSchedulerMatchesReferenceModel pins this against
+// a sorted-slice reference model.
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -19,52 +43,103 @@ var ErrStopped = errors.New("simtime: scheduler stopped")
 // scheduler's (single) execution thread.
 type Callback func()
 
-// Timer is a handle to a scheduled event. The zero value is not usable;
-// timers are created by Scheduler.At and Scheduler.After.
+// EventFunc is the handler of a typed-payload event scheduled with AtEvent
+// and friends. The hot paths of the radio medium, the mote CPU, and the
+// group protocol use it to schedule work without capturing closures: the
+// handler is a package-level function and arg is a pooled record, so the
+// schedule site allocates nothing. arg must be a pointer-shaped value —
+// storing a pointer in an interface does not allocate.
+type EventFunc func(arg any)
+
+// Timer is a handle to a scheduled event. It is a small value: copying it
+// is cheap and the zero value is inert (Stop and Pending return false).
+// Handles reference a pooled slot in the scheduler; once the timer fires or
+// is stopped the slot is recycled, and a generation counter makes every
+// outstanding copy of the old handle permanently dead — a stale handle can
+// never stop or observe the slot's next occupant.
 type Timer struct {
-	s     *Scheduler
-	index int // index in the heap, -1 when fired or cancelled
-	at    time.Duration
-	seq   uint64
-	fn    Callback
+	s    *Scheduler
+	at   time.Duration
+	slot int32 // slot index + 1; 0 marks the inert zero value
+	gen  uint32
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending:
-// false means it already fired or was already stopped.
-func (t *Timer) Stop() bool {
-	if t == nil || t.index < 0 {
+// false means it already fired, was already stopped, or is the zero Timer.
+func (t Timer) Stop() bool {
+	if t.s == nil || t.slot == 0 {
 		return false
 	}
-	heap.Remove(&t.s.queue, t.index)
-	t.index = -1
+	s := t.s
+	sl := &s.slots[t.slot-1]
+	if sl.gen != t.gen || !sl.pending {
+		return false
+	}
+	// Lazy cancellation: release the slot (invalidating the heap entry and
+	// every copy of this handle via the generation bump) and leave the heap
+	// entry behind as a tombstone.
+	s.releaseSlot(t.slot - 1)
+	s.live--
+	s.tomb++
+	s.maybeCompact()
 	return true
 }
 
 // Pending reports whether the timer has not yet fired or been stopped.
-func (t *Timer) Pending() bool {
-	return t != nil && t.index >= 0
+func (t Timer) Pending() bool {
+	if t.s == nil || t.slot == 0 {
+		return false
+	}
+	sl := &t.s.slots[t.slot-1]
+	return sl.gen == t.gen && sl.pending
 }
 
 // When returns the virtual time at which the timer fires (or fired).
-func (t *Timer) When() time.Duration {
+func (t Timer) When() time.Duration {
 	return t.at
+}
+
+// event is one heap entry, stored by value. Exactly one of fn/pfn is set.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  Callback
+	pfn EventFunc
+	arg any
+	// slot is the pooled handle slot backing this event, or -1 for
+	// handle-free events (AtEvent/AfterEvent), which cannot be cancelled.
+	slot int32
+	// gen snapshots the slot generation at scheduling time; a mismatch at
+	// pop time identifies the entry as a tombstone.
+	gen uint32
+}
+
+// slotState is one pooled timer slot.
+type slotState struct {
+	gen      uint32
+	pending  bool
+	nextFree int32
 }
 
 // Scheduler is a deterministic discrete-event executor. It is not safe for
 // concurrent use: protocol code runs exclusively inside event callbacks.
 type Scheduler struct {
-	queue   eventQueue
-	now     time.Duration
-	seq     uint64
-	stopped bool
-	// Executed counts events that have fired; useful for sanity checks and
+	heap     []event
+	slots    []slotState
+	freeHead int32 // head of the intrusive slot free list, -1 when empty
+	live     int   // scheduled events that have not fired or been stopped
+	tomb     int   // cancelled events still occupying heap entries
+	now      time.Duration
+	seq      uint64
+	stopped  bool
+	// executed counts events that have fired; useful for sanity checks and
 	// run-length accounting in tests.
 	executed uint64
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{freeHead: -1}
 }
 
 // Now returns the current virtual time.
@@ -77,44 +152,158 @@ func (s *Scheduler) Executed() uint64 {
 	return s.executed
 }
 
-// Len returns the number of pending events.
+// Len returns the number of pending events (cancelled tombstones that have
+// not yet been drained from the heap are not counted).
 func (s *Scheduler) Len() int {
-	return s.queue.Len()
+	return s.live
+}
+
+// acquireSlot pops a slot from the free list (or grows the pool) and marks
+// it pending. It returns the slot index and its current generation.
+func (s *Scheduler) acquireSlot() (int32, uint32) {
+	var idx int32
+	if s.freeHead >= 0 {
+		idx = s.freeHead
+		s.freeHead = s.slots[idx].nextFree
+	} else {
+		idx = int32(len(s.slots))
+		s.slots = append(s.slots, slotState{})
+	}
+	sl := &s.slots[idx]
+	sl.pending = true
+	return idx, sl.gen
+}
+
+// releaseSlot retires a slot: the generation bump invalidates the heap
+// entry and every outstanding handle, then the slot joins the free list.
+func (s *Scheduler) releaseSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.pending = false
+	sl.gen++
+	sl.nextFree = s.freeHead
+	s.freeHead = idx
+}
+
+// push appends ev and restores the heap invariant.
+func (s *Scheduler) push(ev event) {
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap) - 1)
+	s.live++
 }
 
 // At schedules fn to run at absolute virtual time at. Times in the past are
 // clamped to "now" (the event fires on the next step). Events scheduled for
 // the same instant fire in scheduling order.
-func (s *Scheduler) At(at time.Duration, fn Callback) *Timer {
+func (s *Scheduler) At(at time.Duration, fn Callback) Timer {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	t := &Timer{s: s, at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, t)
-	return t
+	idx, gen := s.acquireSlot()
+	s.push(event{at: at, seq: s.seq, fn: fn, slot: idx, gen: gen})
+	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // durations are treated as zero.
-func (s *Scheduler) After(d time.Duration, fn Callback) *Timer {
+func (s *Scheduler) After(d time.Duration, fn Callback) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtEvent schedules a typed-payload event with no cancellation handle: fn
+// is invoked with arg at virtual time at. With a package-level fn and a
+// pooled pointer arg the call is allocation-free, which is why the radio
+// and mote hot paths use it for receptions, CPU completions, and CSMA
+// retries — none of which are ever cancelled.
+func (s *Scheduler) AtEvent(at time.Duration, fn EventFunc, arg any) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.push(event{at: at, seq: s.seq, pfn: fn, arg: arg, slot: -1})
+}
+
+// AfterEvent is AtEvent relative to the current time. Negative durations
+// are treated as zero.
+func (s *Scheduler) AfterEvent(d time.Duration, fn EventFunc, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtEvent(s.now+d, fn, arg)
+}
+
+// AtEventTimer is AtEvent with a cancellation handle, for hot-path timers
+// that need Stop (e.g. the group protocol's pending heartbeat rebroadcast).
+func (s *Scheduler) AtEventTimer(at time.Duration, fn EventFunc, arg any) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	idx, gen := s.acquireSlot()
+	s.push(event{at: at, seq: s.seq, pfn: fn, arg: arg, slot: idx, gen: gen})
+	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
+}
+
+// AfterEventTimer is AtEventTimer relative to the current time. Negative
+// durations are treated as zero.
+func (s *Scheduler) AfterEventTimer(d time.Duration, fn EventFunc, arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtEventTimer(s.now+d, fn, arg)
+}
+
+// drainTop discards tombstones at the heap top and reports whether a live
+// event remains. Tombstones are only ever reclaimed here (and in compact),
+// so the cost of a cancellation is paid at most once.
+func (s *Scheduler) drainTop() bool {
+	for len(s.heap) > 0 {
+		ev := &s.heap[0]
+		if ev.slot >= 0 && s.slots[ev.slot].gen != ev.gen {
+			s.popTop()
+			s.tomb--
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// popTop removes the heap top by value, clearing the vacated tail entry so
+// dropped closures and payloads do not linger.
+func (s *Scheduler) popTop() event {
+	ev := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap[n] = event{}
+	s.heap = s.heap[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return ev
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	if s.stopped || s.queue.Len() == 0 {
+	if s.stopped || !s.drainTop() {
 		return false
 	}
-	t := heap.Pop(&s.queue).(*Timer)
-	t.index = -1
-	s.now = t.at
+	ev := s.popTop()
+	if ev.slot >= 0 {
+		s.releaseSlot(ev.slot)
+	}
+	s.live--
+	s.now = ev.at
 	s.executed++
-	t.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else if ev.pfn != nil {
+		ev.pfn(ev.arg)
+	}
 	return true
 }
 
@@ -126,7 +315,7 @@ func (s *Scheduler) RunUntil(deadline time.Duration) error {
 		if s.stopped {
 			return ErrStopped
 		}
-		if s.queue.Len() == 0 || s.queue.peek().at > deadline {
+		if !s.drainTop() || s.heap[0].at > deadline {
 			break
 		}
 		s.Step()
@@ -162,51 +351,97 @@ func (s *Scheduler) Stopped() bool {
 	return s.stopped
 }
 
-// eventQueue is a min-heap on (at, seq) implementing heap.Interface.
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// maybeCompact sweeps tombstones out of the heap when they outnumber live
+// events. Cancelled far-future timers otherwise occupy heap entries until
+// their original deadline; the sweep bounds heap growth at 2x the live set
+// for any Stop pattern. Rebuilding the heap array does not perturb the pop
+// order: (at, seq) is a total order, so any valid heap yields the same
+// firing sequence.
+func (s *Scheduler) maybeCompact() {
+	if s.tomb <= 64 || s.tomb <= s.live {
+		return
 	}
-	return q[i].seq < q[j].seq
+	kept := s.heap[:0]
+	for _, ev := range s.heap {
+		if ev.slot >= 0 && s.slots[ev.slot].gen != ev.gen {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(s.heap); i++ {
+		s.heap[i] = event{}
+	}
+	s.heap = kept
+	s.tomb = 0
+	for i := (len(s.heap) - 2) / 4; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// eventLess orders events by (at, seq): time first, scheduling order for
+// ties. This is the total order every determinism guarantee leans on.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
+// siftUp restores the 4-ary heap invariant after appending at index i.
+func (s *Scheduler) siftUp(i int) {
+	ev := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&ev, &s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		i = p
+	}
+	s.heap[i] = ev
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return t
-}
-
-func (q eventQueue) peek() *Timer {
-	return q[0]
+// siftDown restores the 4-ary heap invariant below index i. A 4-ary layout
+// halves the tree depth of the binary heap, trading slightly more sibling
+// comparisons (cache-friendly: the four children are adjacent) for fewer
+// levels moved per push/pop.
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	ev := s.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&s.heap[c], &s.heap[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&s.heap[min], &ev) {
+			break
+		}
+		s.heap[i] = s.heap[min]
+		i = min
+	}
+	s.heap[i] = ev
 }
 
 // Ticker repeatedly invokes a callback at a fixed period until stopped. It
 // is the virtual-time analogue of time.Ticker and is used for heartbeats,
-// sensing scans, and report periods.
+// sensing scans, and report periods. The re-arm closure is created once at
+// construction, so a running ticker allocates nothing per tick.
 type Ticker struct {
 	s      *Scheduler
 	period time.Duration
 	fn     Callback
-	timer  *Timer
+	fire   Callback
+	timer  Timer
 	done   bool
 }
 
@@ -217,12 +452,7 @@ func NewTicker(s *Scheduler, period time.Duration, fn Callback) *Ticker {
 		return nil
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.timer = t.s.After(t.period, func() {
+	t.fire = func() {
 		if t.done {
 			return
 		}
@@ -230,7 +460,13 @@ func (t *Ticker) arm() {
 		if !t.done { // fn may have stopped the ticker
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.s.After(t.period, t.fire)
 }
 
 // Stop cancels future invocations. It is idempotent.
@@ -239,9 +475,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.done = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Reset changes the period and restarts the ticker, with the next invocation
@@ -250,9 +484,7 @@ func (t *Ticker) Reset(period time.Duration) {
 	if t == nil || period <= 0 {
 		return
 	}
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 	t.done = false
 	t.period = period
 	t.arm()
