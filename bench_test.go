@@ -275,6 +275,69 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// benchLargeField deploys a cols x rows unit grid with several concurrent
+// targets crossing it on slanted lines, then advances the prebuilt network
+// by simStep of virtual time per iteration. Construction and a one-second
+// settling run (group formation, pool warm-up) happen outside the timer,
+// so ns/op and allocs/op measure steady-state tracking only.
+func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duration) {
+	b.Helper()
+	n, err := envirotrack.New(
+		envirotrack.WithGrid(cols, rows),
+		envirotrack.WithCommRadius(2.5),
+		envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
+		envirotrack.WithSeed(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.AttachContextAll(benchTrackerContext(envirotrack.NodeID(cols*rows - 1))); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < targets; j++ {
+		slant := 0.2
+		if j%2 == 1 {
+			slant = -slant
+		}
+		n.AddTarget(&envirotrack.Target{
+			Name: "t" + string(rune('0'+j)), Kind: "vehicle",
+			Traj: envirotrack.Line{
+				Start: envirotrack.Pt(0, float64(rows-1)*float64(j+1)/float64(targets+1)),
+				Dir:   envirotrack.Vec(1, slant),
+				Speed: 2,
+			},
+			SignatureRadius: 1.6,
+		})
+	}
+	if err := n.Run(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := n.Run(simStep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simStep.Seconds()*float64(b.N)/wall, "sim_s_per_wall_s")
+	}
+}
+
+// BenchmarkLargeField is the scale tier: 10k motes with four concurrent
+// targets, reporting sim_s_per_wall_s and allocs/op on the prebuilt
+// network. The smoke variant (900 motes, two targets) is small enough to
+// run under -race in CI.
+func BenchmarkLargeField(b *testing.B) {
+	b.Run("10k", func(b *testing.B) {
+		benchLargeField(b, 100, 100, 4, 2*time.Second)
+	})
+	b.Run("smoke", func(b *testing.B) {
+		benchLargeField(b, 30, 30, 2, time.Second)
+	})
+}
+
 // BenchmarkTracingOverhead measures the cost of the observability layer
 // on the Figure 3 scenario (the same workload as
 // BenchmarkSimulationThroughput, whose BENCH_1 numbers predate the event

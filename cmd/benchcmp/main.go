@@ -9,10 +9,17 @@
 // allocs/op) regress upward, rate units (runs/s, sim_s_per_wall_s, and
 // anything else) regress downward.
 //
+// -gate-zero-allocs adds an absolute check on top of the relative one:
+// any benchmark that reported 0 allocs/op in the baseline must still
+// report 0 in the new file. The zero-allocation core is a hard invariant,
+// not a number that may drift 10% per release, so the fractional
+// threshold does not apply to it (and could not: any regression from
+// zero is an infinite relative change).
+//
 // Usage:
 //
-//	benchcmp -baseline BENCH_2.json -new BENCH_3.json \
-//	  -metric sim_s_per_wall_s -max-regress 0.10
+//	benchcmp -baseline BENCH_3.json -new BENCH_4.json \
+//	  -metric sim_s_per_wall_s -max-regress 0.10 -gate-zero-allocs
 package main
 
 import (
@@ -171,11 +178,41 @@ func compare(base, fresh results, metric string, maxRegress float64) (string, bo
 	return sb.String(), regressed
 }
 
+// compareZeroAllocs enforces the allocation-free invariant: every
+// benchmark that reported 0 allocs/op in the baseline and appears in the
+// new file must still report 0. It returns the violation report and
+// whether any benchmark broke the invariant.
+func compareZeroAllocs(base, fresh results) (string, bool) {
+	const unit = "allocs/op"
+	var names []string
+	for name, m := range base {
+		if v, ok := m[unit]; !ok || v != 0 {
+			continue
+		}
+		if _, ok := fresh[name][unit]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	broken := false
+	for _, name := range names {
+		if now := fresh[name][unit]; now != 0 {
+			fmt.Fprintf(&sb, "%s: was 0 allocs/op, now %g  ZERO-ALLOC REGRESSION\n", name, now)
+			broken = true
+		}
+	}
+	fmt.Fprintf(&sb, "zero-alloc gate: %d benchmark(s) checked\n", len(names))
+	return sb.String(), broken
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline results file (go test -json output)")
 	freshPath := flag.String("new", "", "new results file to compare against the baseline")
 	metric := flag.String("metric", "sim_s_per_wall_s", "comma-separated metric units to compare")
 	maxRegress := flag.Float64("max-regress", 0.10, "failure threshold as a fraction (0.10 = 10%)")
+	gateZeroAllocs := flag.Bool("gate-zero-allocs", false,
+		"fail if any benchmark at 0 allocs/op in the baseline becomes nonzero")
 	flag.Parse()
 	if *baseline == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -new are required")
@@ -201,6 +238,11 @@ func main() {
 		report, regressed := compare(base, fresh, m, *maxRegress)
 		fmt.Print(report)
 		anyRegressed = anyRegressed || regressed
+	}
+	if *gateZeroAllocs {
+		report, broken := compareZeroAllocs(base, fresh)
+		fmt.Print(report)
+		anyRegressed = anyRegressed || broken
 	}
 	if anyRegressed {
 		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% detected\n", *maxRegress*100)

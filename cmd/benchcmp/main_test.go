@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -97,5 +98,57 @@ func TestCompareDirections(t *testing.T) {
 	// Benchmarks missing from either side are skipped, not regressions.
 	if _, regressed = compare(base, results{}, "sim_s_per_wall_s", 0.10); regressed {
 		t.Fatal("empty new file flagged as regression")
+	}
+}
+
+func TestParseBenchLineLaterEntriesWin(t *testing.T) {
+	// make bench appends a steady-state micro-bench pass after the
+	// -benchtime 1x sweep; the later (higher-benchtime) measurement must
+	// replace the warm-up-polluted one so the zero-alloc gate sees the
+	// pooled core's true steady state.
+	res := results{}
+	parseBenchLine(res, "BenchmarkSchedulerChurn \t       1\t     793.0 ns/op\t      48 B/op\t       1 allocs/op")
+	parseBenchLine(res, "BenchmarkSchedulerChurn \t  100000\t      23.0 ns/op\t       0 B/op\t       0 allocs/op")
+	if got := res["BenchmarkSchedulerChurn"]["allocs/op"]; got != 0 {
+		t.Fatalf("allocs/op = %v, want steady-state 0", got)
+	}
+	if got := res["BenchmarkSchedulerChurn"]["ns/op"]; got != 23.0 {
+		t.Fatalf("ns/op = %v, want steady-state 23", got)
+	}
+}
+
+func TestCompareZeroAllocs(t *testing.T) {
+	base := results{
+		"BenchmarkPooled":  {"allocs/op": 0},
+		"BenchmarkHeapy":   {"allocs/op": 12},
+		"BenchmarkRemoved": {"allocs/op": 0}, // absent from every fresh file below
+		"BenchmarkNoAlloc": {"ns/op": 5},     // no allocs/op metric at all
+	}
+
+	// Invariant holds: pooled benchmark still at zero; a nonzero baseline
+	// getting worse is the relative gate's business, not this one's.
+	fresh := results{
+		"BenchmarkPooled": {"allocs/op": 0},
+		"BenchmarkHeapy":  {"allocs/op": 40},
+	}
+	report, broken := compareZeroAllocs(base, fresh)
+	if broken {
+		t.Fatalf("gate fired with no zero-alloc regression:\n%s", report)
+	}
+
+	// Invariant broken: a 0 allocs/op baseline became nonzero.
+	fresh["BenchmarkPooled"]["allocs/op"] = 2
+	report, broken = compareZeroAllocs(base, fresh)
+	if !broken {
+		t.Fatal("gate must fire when a 0 allocs/op baseline becomes nonzero")
+	}
+	if !strings.Contains(report, "BenchmarkPooled") || !strings.Contains(report, "ZERO-ALLOC REGRESSION") {
+		t.Fatalf("report should name the offender:\n%s", report)
+	}
+
+	// A benchmark dropped from the new file is skipped, not a failure
+	// (intersection semantics, matching compare).
+	if report, broken = compareZeroAllocs(base, results{}); broken {
+		t.Fatalf("absent benchmark tripped the gate:\n%s", report)
 	}
 }

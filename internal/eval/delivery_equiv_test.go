@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"envirotrack"
+	"envirotrack/internal/obs"
+)
+
+// collectRun executes one scenario under the given delivery mode and
+// returns its result plus the byte-exact JSONL event stream.
+func collectRun(t *testing.T, sc Scenario, perReceiver bool) (RunResult, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	SetEventSink(sink)
+	SetPerReceiverDelivery(perReceiver)
+	defer func() {
+		SetEventSink(nil)
+		SetPerReceiverDelivery(false)
+	}()
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestBatchedDeliveryMatchesPerReceiver is the delivery-order equivalence
+// property the batching rewrite rests on: for the same seed, the batched
+// fan-out (one pooled delivery event per frame) and the per-receiver
+// reference path (one event per target) produce identical run results and
+// byte-identical JSONL traces. Chaos loss, duplication, and partition
+// faults are included because they must keep applying per receiver inside
+// a batch.
+func TestBatchedDeliveryMatchesPerReceiver(t *testing.T) {
+	sched, err := envirotrack.ParseChaosSchedule(
+		"crash:node=5,at=20s,for=5s;loss:at=10s,for=10s,p=0.4;partition:x=5,at=25s,for=5s;dup:at=30s,for=5s,p=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"nominal", Scenario{Seed: 7}},
+		{"lossy", Scenario{Seed: 11, LossProb: 0.2}},
+	}
+	chaotic := chaosBase(13)
+	chaotic.Chaos = sched
+	chaotic.CheckInvariants = true
+	cases = append(cases, struct {
+		name string
+		sc   Scenario
+	}{"chaos", chaotic})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batchedRes, batchedTrace := collectRun(t, tc.sc, false)
+			referenceRes, referenceTrace := collectRun(t, tc.sc, true)
+			if !reflect.DeepEqual(batchedRes, referenceRes) {
+				t.Errorf("results diverge:\nbatched   = %+v\nreference = %+v", batchedRes, referenceRes)
+			}
+			if !bytes.Equal(batchedTrace, referenceTrace) {
+				t.Errorf("JSONL traces diverge (%d vs %d bytes)", len(batchedTrace), len(referenceTrace))
+			}
+			if len(batchedTrace) == 0 {
+				t.Error("run emitted no events")
+			}
+			if len(batchedRes.Violations) != 0 {
+				t.Errorf("batched run violated invariants: %+v", batchedRes.Violations)
+			}
+		})
+	}
+}
+
+// TestBatchedDeliveryMatchesPerReceiverParallel repeats the equivalence
+// check under the parallel sweep runner: the chaos suite fanned across
+// workers with batched delivery must match the per-receiver reference
+// point-for-point and trace-for-trace (compared per run tag). This also
+// re-proves invariants I1–I5 hold with batching, since every suite case
+// runs the checker.
+func TestBatchedDeliveryMatchesPerReceiverParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite x2 is slow")
+	}
+	collect := func(perReceiver bool) ([]ChaosPoint, map[string][]string) {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		SetEventSink(sink)
+		SetPerReceiverDelivery(perReceiver)
+		defer func() {
+			SetEventSink(nil)
+			SetPerReceiverDelivery(false)
+		}()
+		var points []ChaosPoint
+		withParallelism(t, 4, func() {
+			var err error
+			if points, err = RunChaosSuite(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return points, bucketByRun(buf.String())
+	}
+	batchedPoints, batchedTraces := collect(false)
+	referencePoints, referenceTraces := collect(true)
+	if !reflect.DeepEqual(batchedPoints, referencePoints) {
+		t.Errorf("chaos suite points diverge:\nbatched   = %+v\nreference = %+v", batchedPoints, referencePoints)
+	}
+	if len(batchedTraces) == 0 {
+		t.Fatal("batched suite produced no traced runs")
+	}
+	if !reflect.DeepEqual(batchedTraces, referenceTraces) {
+		t.Errorf("per-run JSONL streams diverge between batched and per-receiver suites (%d vs %d runs)",
+			len(batchedTraces), len(referenceTraces))
+	}
+	for _, p := range batchedPoints {
+		for _, v := range p.Violations {
+			t.Errorf("batched case %q seed %d: %s violation at %v: %s", p.Case, p.Seed, v.Invariant, v.At, v.Detail)
+		}
+	}
+}

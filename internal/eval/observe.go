@@ -15,12 +15,23 @@ import (
 // parallel sweep can share one sink; each run's bus tags events with the
 // scenario seed for post-hoc separation.
 var obsCfg struct {
-	mu      sync.Mutex
-	sink    obs.Sink
-	metrics *obs.MetricsSink
-	cadence time.Duration
-	series  []TaggedSeries
-	runs    *obs.Counter // optional runs-completed counter
+	mu          sync.Mutex
+	sink        obs.Sink
+	metrics     *obs.MetricsSink
+	cadence     time.Duration
+	series      []TaggedSeries
+	runs        *obs.Counter // optional runs-completed counter
+	perReceiver bool
+}
+
+// SetPerReceiverDelivery makes every subsequent Run use the radio medium's
+// per-receiver reference delivery path instead of batched fan-out. The two
+// paths produce byte-identical traces; the equivalence tests flip this to
+// prove it, including under parallel sweeps.
+func SetPerReceiverDelivery(on bool) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.perReceiver = on
 }
 
 // SetEventSink attaches a sink to every subsequent Run's event bus; nil
@@ -82,8 +93,12 @@ func DrainSeries() []TaggedSeries {
 func observeRun(sc Scenario, checker *envirotrack.InvariantChecker) (opts []envirotrack.Option, onNet func(*envirotrack.Network), done func()) {
 	obsCfg.mu.Lock()
 	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
+	perReceiver := obsCfg.perReceiver
 	obsCfg.mu.Unlock()
 
+	if perReceiver {
+		opts = append(opts, envirotrack.WithPerReceiverDelivery())
+	}
 	var sinks []obs.Sink
 	if sink != nil {
 		sinks = append(sinks, sink)

@@ -222,6 +222,9 @@ func (g *Manager) SetSensing(sensing bool) {
 		return
 	}
 	g.sensing = sensing
+	if h, i := g.m.Hot(); h != nil {
+		h.SetSensing(i, g.ctxType, sensing)
+	}
 	if sensing {
 		g.onStartSensing()
 	} else {
@@ -272,7 +275,7 @@ func (g *Manager) becomeLeader(label Label, weight uint64, state []byte) {
 	g.stopTimer(&g.waitTimer)
 	g.stopTimer(&g.creationTimer)
 
-	g.role = RoleLeader
+	g.setRole(RoleLeader)
 	g.label = label
 	g.weight = weight
 	g.state = state
@@ -357,7 +360,7 @@ func (g *Manager) pickSuccessor() (radio.NodeID, bool) {
 func (g *Manager) loseLeadership() {
 	label := g.label
 	g.stopLeaderDuties()
-	g.role = RoleNone
+	g.setRole(RoleNone)
 	g.label = ""
 	if g.cb.OnLoseLeadership != nil {
 		g.cb.OnLoseLeadership(label)
@@ -389,7 +392,7 @@ func (g *Manager) becomeMember(label Label, leader radio.NodeID, weight uint64, 
 	g.stopTimer(&g.waitTimer)
 	g.stopTimer(&g.creationTimer)
 
-	g.role = RoleMember
+	g.setRole(RoleMember)
 	g.label = label
 	g.leaderID = leader
 	g.lastWeight = weight
@@ -459,7 +462,7 @@ func (g *Manager) stopReporting() {
 func (g *Manager) leaveMembership() {
 	label, weight, state := g.label, g.lastWeight, g.lastState
 	g.stopMemberDuties()
-	g.role = RoleNone
+	g.setRole(RoleNone)
 	g.label = ""
 	// Keep memory of the label so a quick re-sense rejoins it.
 	g.rememberLabel(label, g.leaderID, weight, state)
@@ -479,6 +482,16 @@ func (g *Manager) rememberLabel(label Label, leader radio.NodeID, weight uint64,
 	g.waitState = state
 	g.waitTimer.Stop()
 	g.waitTimer = g.m.Scheduler().After(g.cfg.waitTimeout(), noopFire)
+}
+
+// setRole records a role transition, mirroring it into the mote's
+// hot-state membership word (the bit is set whenever the manager holds any
+// role, which is what the group_size series probe counts).
+func (g *Manager) setRole(r Role) {
+	g.role = r
+	if h, i := g.m.Hot(); h != nil {
+		h.SetMember(i, g.ctxType, r != RoleNone)
+	}
 }
 
 // stopTimer cancels a timer and resets the handle to the inert zero value.

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"envirotrack/internal/arena"
 	"envirotrack/internal/geom"
 	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
@@ -76,11 +77,20 @@ type Mote struct {
 	handlers  []FrameHandler
 	listeners []SenseListener
 
+	// hot is the struct-of-arrays home of the mote's failure flag and
+	// CPU-queue depth (see HotState); hotIdx is this mote's row. A
+	// standalone mote owns a private single-row HotState; BindHot moves the
+	// mote into a network-owned shared one.
+	hot    *HotState
+	hotIdx int
+
 	// CPU state.
 	busyUntil time.Duration
-	queued    int
-	// taskFree pools the CPU-queue completion records (intrusive list).
-	taskFree *cpuTask
+	// taskFree pools the CPU-queue completion records (intrusive list);
+	// refills come from the mote-local arena so a queue's records sit in
+	// one block.
+	taskFree  *cpuTask
+	taskArena arena.Arena[cpuTask]
 
 	// senseVals is the scratch buffer periodic scans sample into, reused
 	// every tick so steady-state sensing allocates nothing.
@@ -88,7 +98,6 @@ type Mote struct {
 
 	senseTicker *simtime.Ticker
 	started     bool
-	failed      bool
 }
 
 // cpuTask is one queued frame awaiting its CPU service-time completion.
@@ -123,11 +132,25 @@ func New(
 		rng:    rng,
 		stats:  stats,
 	}
+	m.hot = NewHotState()
+	m.hotIdx = m.hot.Register(pos)
 	if err := medium.AddNode(id, pos, m.onFrame); err != nil {
 		return nil, fmt.Errorf("mote %d: %w", id, err)
 	}
 	return m, nil
 }
+
+// BindHot re-registers the mote into a shared (network-owned) HotState and
+// returns its row index. It must be called before the simulation starts;
+// the mote's hot fields start from their zero state in the new arena.
+func (m *Mote) BindHot(h *HotState) int {
+	m.hot = h
+	m.hotIdx = h.Register(m.pos)
+	return m.hotIdx
+}
+
+// Hot returns the mote's hot-state arena and its row index in it.
+func (m *Mote) Hot() (*HotState, int) { return m.hot, m.hotIdx }
 
 // ID returns the mote's node id.
 func (m *Mote) ID() radio.NodeID { return m.id }
@@ -153,7 +176,11 @@ func (m *Mote) Obs() *obs.Bus { return m.bus }
 
 // Queued returns the number of frames waiting in the CPU queue (series
 // probe for the cpu_queue column).
-func (m *Mote) Queued() int { return m.queued }
+func (m *Mote) Queued() int { return m.hot.Queued(m.hotIdx) }
+
+// HasModel reports whether the mote has a sensing model (pure relay nodes
+// do not and are skipped by the network's sensing sweep).
+func (m *Mote) HasModel() bool { return m.model != nil }
 
 // AddFrameHandler appends a frame handler; handlers run in registration
 // order until one consumes the frame.
@@ -166,7 +193,9 @@ func (m *Mote) AddSenseListener(l SenseListener) {
 	m.listeners = append(m.listeners, l)
 }
 
-// Start begins the periodic sensing scan. It is idempotent.
+// Start begins the periodic sensing scan with a mote-owned ticker. It is
+// idempotent. Networks use StartManaged plus a single shared sweep ticker
+// instead; Start remains for standalone motes (tests, ad-hoc topologies).
 func (m *Mote) Start() {
 	if m.started || m.model == nil {
 		m.started = true
@@ -174,6 +203,22 @@ func (m *Mote) Start() {
 	}
 	m.started = true
 	m.senseTicker = simtime.NewTicker(m.sched, m.cfg.SensePeriod, m.scan)
+}
+
+// StartManaged marks the mote started without arming a sensing ticker; the
+// owner drives scans through ScanOnce from a single consolidated sweep.
+// All motes in a sweep share one scheduler event per sense period instead
+// of one ticker re-arm each, and the sweep reads positions and failure
+// flags from the shared HotState slices.
+func (m *Mote) StartManaged() { m.started = true }
+
+// ScanOnce runs one sensing scan on behalf of a managed sweep. It is a
+// no-op before StartManaged/Start or after Stop.
+func (m *Mote) ScanOnce() {
+	if !m.started || m.model == nil {
+		return
+	}
+	m.scan()
 }
 
 // Stop halts the sensing scan.
@@ -187,10 +232,10 @@ func (m *Mote) Stop() {
 // Fail kills the mote: it stops sensing, processing, and transmitting until
 // Restore is called. Used for fault injection (Figure 5's worst case).
 func (m *Mote) Fail() {
-	if m.failed {
+	if m.hot.failed[m.hotIdx] {
 		return
 	}
-	m.failed = true
+	m.hot.failed[m.hotIdx] = true
 	if bus := m.bus; bus.Active() {
 		bus.Emit(obs.Event{
 			At: m.sched.Now(), Type: obs.EvMoteFailed, Mote: int(m.id), Pos: m.pos,
@@ -200,10 +245,10 @@ func (m *Mote) Fail() {
 
 // Restore revives a failed mote.
 func (m *Mote) Restore() {
-	if !m.failed {
+	if !m.hot.failed[m.hotIdx] {
 		return
 	}
-	m.failed = false
+	m.hot.failed[m.hotIdx] = false
 	if bus := m.bus; bus.Active() {
 		bus.Emit(obs.Event{
 			At: m.sched.Now(), Type: obs.EvMoteRestored, Mote: int(m.id), Pos: m.pos,
@@ -212,7 +257,7 @@ func (m *Mote) Restore() {
 }
 
 // Failed reports whether the mote is currently failed.
-func (m *Mote) Failed() bool { return m.failed }
+func (m *Mote) Failed() bool { return m.hot.failed[m.hotIdx] }
 
 // Sense samples the sensing model immediately and returns the reading.
 // It returns a zero reading when the mote has no sensing model.
@@ -225,7 +270,7 @@ func (m *Mote) Sense() sensor.Reading {
 
 // Send transmits a frame from this mote. Failed motes transmit nothing.
 func (m *Mote) Send(kind trace.Kind, dst radio.NodeID, bits int, payload any) {
-	if m.failed {
+	if m.hot.failed[m.hotIdx] {
 		return
 	}
 	m.medium.Send(radio.Frame{Kind: kind, Src: m.id, Dst: dst, Bits: bits, Payload: payload})
@@ -240,7 +285,7 @@ func (m *Mote) Broadcast(kind trace.Kind, bits int, payload any) {
 // buffer; the reading handed to listeners is therefore valid only for the
 // duration of the callback (listeners extract values synchronously).
 func (m *Mote) scan() {
-	if m.failed {
+	if m.hot.failed[m.hotIdx] {
 		return
 	}
 	rd, buf := m.model.SampleInto(m.field, int(m.id), m.pos, m.sched.Now(), m.senseVals[:0])
@@ -252,14 +297,14 @@ func (m *Mote) scan() {
 
 // onFrame is the radio reception callback: it feeds the CPU queue.
 func (m *Mote) onFrame(f radio.Frame) {
-	if m.failed {
+	if m.hot.failed[m.hotIdx] {
 		return
 	}
 	if m.cfg.ServiceTime <= 0 {
 		m.dispatch(f)
 		return
 	}
-	if m.queued >= m.cfg.QueueCap {
+	if m.hot.Queued(m.hotIdx) >= m.cfg.QueueCap {
 		if m.stats != nil {
 			m.stats.RecordLoss(f.Kind, trace.LossOverload)
 		}
@@ -271,7 +316,7 @@ func (m *Mote) onFrame(f radio.Frame) {
 		}
 		return
 	}
-	m.queued++
+	m.hot.queued[m.hotIdx]++
 	now := m.sched.Now()
 	start := now
 	if m.busyUntil > start {
@@ -292,8 +337,8 @@ func cpuTaskDone(arg any) {
 	t.f = radio.Frame{}
 	t.next = m.taskFree
 	m.taskFree = t
-	m.queued--
-	if m.failed {
+	m.hot.queued[m.hotIdx]--
+	if m.hot.failed[m.hotIdx] {
 		return
 	}
 	m.dispatch(f)
@@ -305,7 +350,9 @@ func (m *Mote) acquireTask() *cpuTask {
 		t.next = nil
 		return t
 	}
-	return &cpuTask{m: m}
+	t := m.taskArena.New()
+	t.m = m
+	return t
 }
 
 func (m *Mote) dispatch(f radio.Frame) {

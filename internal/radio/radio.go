@@ -21,6 +21,7 @@ import (
 	"slices"
 	"time"
 
+	"envirotrack/internal/arena"
 	"envirotrack/internal/geom"
 	"envirotrack/internal/obs"
 	"envirotrack/internal/simtime"
@@ -71,6 +72,12 @@ type Params struct {
 	DisableCSMA bool
 	// CSMASlot is the carrier-sense backoff slot (default 1ms).
 	CSMASlot time.Duration
+	// PerReceiverDelivery schedules one scheduler event per target receiver
+	// (the pre-batching reference path) instead of one pooled delivery
+	// batch per frame. The two paths produce byte-identical traces — the
+	// equivalence tests pin this — so the flag exists only as the reference
+	// implementation for differential testing.
+	PerReceiverDelivery bool
 }
 
 func (p Params) withDefaults() Params {
@@ -151,10 +158,18 @@ type Medium struct {
 	queryCur     []int
 	scratchIDs   []NodeID
 
-	// Free lists pooling the per-frame records of the send path.
-	rxFree *reception
-	txFree *transmission
-	psFree *pendingSend
+	// Free lists pooling the per-frame records of the send path. Refills
+	// come from run-local arenas, so a run's records occupy contiguous
+	// blocks instead of scattered heap objects; each parallel sweep worker
+	// owns its medium and therefore its arenas — nothing is shared.
+	rxFree  *reception
+	txFree  *transmission
+	psFree  *pendingSend
+	dbFree  *deliveryBatch
+	rxArena arena.Arena[reception]
+	txArena arena.Arena[transmission]
+	psArena arena.Arena[pendingSend]
+	dbArena arena.Arena[deliveryBatch]
 
 	// Airtime memo for the handful of fixed frame sizes a run uses.
 	airtimeBits [8]int
@@ -217,6 +232,20 @@ type pendingSend struct {
 	f       Frame
 	attempt int
 	next    *pendingSend
+}
+
+// deliveryBatch is one frame's batched fan-out: the target receptions of a
+// transmission, delivered in ascending receiver-id order by a single
+// scheduler event at arrival time (airtime is computed once and shared).
+// The old path scheduled one event per receiver; the batch keeps the exact
+// firing order those events had — they occupied a contiguous (at, seq)
+// block — and folds the trailing undelivered check in at the end, so
+// traces are byte-identical at O(receivers) fewer heap events. Pooled.
+type deliveryBatch struct {
+	m    *Medium
+	tx   *transmission
+	rxs  []*reception
+	next *deliveryBatch
 }
 
 // New creates a medium on the given scheduler. rng must not be nil; stats
@@ -464,7 +493,9 @@ func (m *Medium) acquireRX() *reception {
 		*rx = reception{m: m}
 		return rx
 	}
-	return &reception{m: m}
+	rx := m.rxArena.New()
+	rx.m = m
+	return rx
 }
 
 func (m *Medium) recycleRX(rx *reception) {
@@ -490,7 +521,9 @@ func (m *Medium) acquireTX() *transmission {
 		*tx = transmission{m: m}
 		return tx
 	}
-	return &transmission{m: m}
+	tx := m.txArena.New()
+	tx.m = m
+	return tx
 }
 
 func (m *Medium) recycleTX(tx *transmission) {
@@ -505,13 +538,33 @@ func (m *Medium) acquirePS() *pendingSend {
 		ps.next = nil
 		return ps
 	}
-	return &pendingSend{m: m}
+	ps := m.psArena.New()
+	ps.m = m
+	return ps
 }
 
 func (m *Medium) recyclePS(ps *pendingSend) {
 	ps.f = Frame{}
 	ps.next = m.psFree
 	m.psFree = ps
+}
+
+func (m *Medium) acquireBatch() *deliveryBatch {
+	if b := m.dbFree; b != nil {
+		m.dbFree = b.next
+		b.next = nil
+		return b
+	}
+	b := m.dbArena.New()
+	b.m = m
+	return b
+}
+
+func (m *Medium) recycleBatch(b *deliveryBatch) {
+	b.tx = nil
+	b.rxs = b.rxs[:0]
+	b.next = m.dbFree
+	m.dbFree = b
 }
 
 // Send transmits a frame from f.Src. The sender carrier-senses first:
@@ -608,6 +661,11 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	}
 
 	tx := m.acquireTX()
+	var batch *deliveryBatch
+	if !m.params.PerReceiverDelivery {
+		batch = m.acquireBatch()
+		batch.tx = tx
+	}
 	intended := 0
 	// Neighbors is exactly the in-range receiver set in ascending id
 	// order — the same nodes the old full-field scan selected — and it is
@@ -623,7 +681,7 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		if isTarget {
 			intended++
 		}
-		m.scheduleReception(dst, f, tx, start, end, isTarget)
+		m.scheduleReception(dst, f, tx, batch, start, end, isTarget)
 	}
 	if intended == 0 {
 		// Nobody could ever receive it: record immediately. No target
@@ -633,14 +691,48 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		}
 		m.emitUndelivered(m.sched.Now(), f, src.pos)
 		m.recycleTX(tx)
+		if batch != nil {
+			m.recycleBatch(batch)
+		}
+		return
+	}
+	tx.f = f
+	tx.pos = src.pos
+	if batch != nil {
+		// One event delivers the whole batch in id order and then runs the
+		// undelivered check — the same total order the per-receiver events
+		// formed as a contiguous same-timestamp block.
+		m.sched.AtEvent(end+m.params.PropDelay, batchDeliver, batch)
 		return
 	}
 	// After the last possible delivery, check whether anyone got it. The
 	// deliveries share this timestamp but were scheduled first, so they
 	// fire first and the check observes the final delivered count.
-	tx.f = f
-	tx.pos = src.pos
 	m.sched.AtEvent(end+m.params.PropDelay, transmissionDone, tx)
+}
+
+// batchDeliver resolves every target reception of one frame in ascending
+// receiver-id order, then the sender-side undelivered check. Each record's
+// pool bookkeeping happens before its receiver callback runs (callbacks
+// may send frames that reenter the medium and prune rx lists); the batch
+// itself recycles only after the loop, so reentrant sends acquire distinct
+// batch records.
+func batchDeliver(arg any) {
+	b := arg.(*deliveryBatch)
+	m, tx := b.m, b.tx
+	for i, rx := range b.rxs {
+		b.rxs[i] = nil
+		m.deliverReception(rx)
+	}
+	b.rxs = b.rxs[:0]
+	if tx.delivered == 0 {
+		if m.stats != nil {
+			m.stats.RecordUndelivered(tx.f.Kind)
+		}
+		m.emitUndelivered(m.sched.Now(), tx.f, tx.pos)
+	}
+	m.recycleTX(tx)
+	m.recycleBatch(b)
 }
 
 // transmissionDone runs the undelivered check after a frame's last
@@ -661,7 +753,7 @@ func transmissionDone(arg any) {
 // during [start, end] and delivers it at end+PropDelay unless corrupted.
 // Non-target receivers still experience channel occupancy (their concurrent
 // receptions collide) but do not receive or account the frame.
-func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, start, end time.Duration, isTarget bool) {
+func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, batch *deliveryBatch, start, end time.Duration, isTarget bool) {
 	rx := m.acquireRX()
 	rx.start, rx.end = start, end
 
@@ -700,21 +792,35 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, st
 		// draw-for-draw until the first divergent outcome.
 		lossProb = m.faults.LossProb(start, lossProb)
 	}
+	// The loss draw stays here, at schedule time in ascending receiver-id
+	// order, on both delivery paths — RNG draw order is part of the traces'
+	// byte-identity contract. Chaos loss/partition/duplication faults are
+	// likewise applied per receiver regardless of batching.
 	rx.lost = m.rng.Float64() < lossProb
 	rx.dst = dst
 	rx.f = f
 	rx.tx = tx
 	rx.hasEvent = true
+	if batch != nil {
+		batch.rxs = append(batch.rxs, rx)
+		return
+	}
 	m.sched.AtEvent(end+m.params.PropDelay, receptionDone, rx)
 }
 
-// receptionDone resolves one target reception at its arrival time:
+// receptionDone resolves one target reception on the per-receiver
+// reference path.
+func receptionDone(arg any) {
+	rx := arg.(*reception)
+	rx.m.deliverReception(rx)
+}
+
+// deliverReception resolves one target reception at its arrival time:
 // collision corruption, iid loss, or delivery to the receiver callback.
 // Pool bookkeeping happens before the receiver callback runs, because the
 // callback may send frames that reenter the medium and prune rx lists.
-func receptionDone(arg any) {
-	rx := arg.(*reception)
-	m, dst, f, tx := rx.m, rx.dst, rx.f, rx.tx
+func (m *Medium) deliverReception(rx *reception) {
+	dst, f, tx := rx.dst, rx.f, rx.tx
 	corrupted, lost := rx.corrupted, rx.lost
 	rx.hasEvent = false
 	rx.dst = nil

@@ -7,11 +7,18 @@
 // The scheduler is built to be allocation-free in steady state, because the
 // group protocol is timer-dominated: every heartbeat a member hears stops
 // and re-arms its receive timer, so a sweep-scale run cycles through tens of
-// thousands of timers. Three design choices make that churn cheap:
+// thousands of timers. Four design choices make that churn cheap:
 //
 //   - Events are stored by value in a 4-ary min-heap keyed on (at, seq);
 //     nothing is allocated per scheduled event once the heap has grown to
 //     the run's working size.
+//   - Heap entries are 24-byte plain-old-data records (time, sequence, slot
+//     index, generation) with no pointers. The callback, typed handler, and
+//     payload of every event live in its pooled slot, which never moves, so
+//     sift operations copy small scalar records with no write barriers and
+//     the heap array stays dense in cache. The slots slice doubles as a
+//     contiguous arena for event payloads: a run's entire timer population
+//     occupies a handful of allocations.
 //   - Timer handles are value types that reference a pooled slot inside the
 //     scheduler. Slots are recycled through an intrusive free list, and a
 //     generation counter guards against ABA: a handle that has fired or
@@ -99,26 +106,30 @@ func (t Timer) When() time.Duration {
 	return t.at
 }
 
-// event is one heap entry, stored by value. Exactly one of fn/pfn is set.
+// event is one heap entry, stored by value. It is a pointer-free 24-byte
+// record: sift operations copy it with no write barriers, which is what
+// keeps the heap hot path cache-dense. The event's callback and payload
+// live in the slot it references.
 type event struct {
 	at  time.Duration
 	seq uint64
-	fn  Callback
-	pfn EventFunc
-	arg any
-	// slot is the pooled handle slot backing this event, or -1 for
-	// handle-free events (AtEvent/AfterEvent), which cannot be cancelled.
+	// slot is the pooled slot holding this event's callback and payload.
 	slot int32
 	// gen snapshots the slot generation at scheduling time; a mismatch at
 	// pop time identifies the entry as a tombstone.
 	gen uint32
 }
 
-// slotState is one pooled timer slot.
+// slotState is one pooled event slot: the stable home of an event's
+// callback, typed handler, and payload while its heap entry migrates
+// through sift operations. Exactly one of fn/pfn is set.
 type slotState struct {
 	gen      uint32
 	pending  bool
 	nextFree int32
+	fn       Callback
+	pfn      EventFunc
+	arg      any
 }
 
 // Scheduler is a deterministic discrete-event executor. It is not safe for
@@ -175,11 +186,16 @@ func (s *Scheduler) acquireSlot() (int32, uint32) {
 }
 
 // releaseSlot retires a slot: the generation bump invalidates the heap
-// entry and every outstanding handle, then the slot joins the free list.
+// entry and every outstanding handle, the payload is dropped so the slot
+// pins neither closures nor pooled records, and the slot joins the free
+// list.
 func (s *Scheduler) releaseSlot(idx int32) {
 	sl := &s.slots[idx]
 	sl.pending = false
 	sl.gen++
+	sl.fn = nil
+	sl.pfn = nil
+	sl.arg = nil
 	sl.nextFree = s.freeHead
 	s.freeHead = idx
 }
@@ -200,7 +216,8 @@ func (s *Scheduler) At(at time.Duration, fn Callback) Timer {
 	}
 	s.seq++
 	idx, gen := s.acquireSlot()
-	s.push(event{at: at, seq: s.seq, fn: fn, slot: idx, gen: gen})
+	s.slots[idx].fn = fn
+	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
 	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
 }
 
@@ -216,14 +233,18 @@ func (s *Scheduler) After(d time.Duration, fn Callback) Timer {
 // AtEvent schedules a typed-payload event with no cancellation handle: fn
 // is invoked with arg at virtual time at. With a package-level fn and a
 // pooled pointer arg the call is allocation-free, which is why the radio
-// and mote hot paths use it for receptions, CPU completions, and CSMA
-// retries — none of which are ever cancelled.
+// and mote hot paths use it for delivery batches, CPU completions, and
+// CSMA retries — none of which are ever cancelled.
 func (s *Scheduler) AtEvent(at time.Duration, fn EventFunc, arg any) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	s.push(event{at: at, seq: s.seq, pfn: fn, arg: arg, slot: -1})
+	idx, gen := s.acquireSlot()
+	sl := &s.slots[idx]
+	sl.pfn = fn
+	sl.arg = arg
+	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
 }
 
 // AfterEvent is AtEvent relative to the current time. Negative durations
@@ -243,7 +264,10 @@ func (s *Scheduler) AtEventTimer(at time.Duration, fn EventFunc, arg any) Timer 
 	}
 	s.seq++
 	idx, gen := s.acquireSlot()
-	s.push(event{at: at, seq: s.seq, pfn: fn, arg: arg, slot: idx, gen: gen})
+	sl := &s.slots[idx]
+	sl.pfn = fn
+	sl.arg = arg
+	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
 	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
 }
 
@@ -262,7 +286,7 @@ func (s *Scheduler) AfterEventTimer(d time.Duration, fn EventFunc, arg any) Time
 func (s *Scheduler) drainTop() bool {
 	for len(s.heap) > 0 {
 		ev := &s.heap[0]
-		if ev.slot >= 0 && s.slots[ev.slot].gen != ev.gen {
+		if s.slots[ev.slot].gen != ev.gen {
 			s.popTop()
 			s.tomb--
 			continue
@@ -272,13 +296,12 @@ func (s *Scheduler) drainTop() bool {
 	return false
 }
 
-// popTop removes the heap top by value, clearing the vacated tail entry so
-// dropped closures and payloads do not linger.
+// popTop removes the heap top by value. Entries are pointer-free, so the
+// vacated tail needs no clearing.
 func (s *Scheduler) popTop() event {
 	ev := s.heap[0]
 	n := len(s.heap) - 1
 	s.heap[0] = s.heap[n]
-	s.heap[n] = event{}
 	s.heap = s.heap[:n]
 	if n > 1 {
 		s.siftDown(0)
@@ -287,22 +310,24 @@ func (s *Scheduler) popTop() event {
 }
 
 // Step fires the earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
+// timestamp. It reports whether an event was executed. The slot payload is
+// read and the slot released before the callback runs, so a callback that
+// schedules new events observes a consistent pool.
 func (s *Scheduler) Step() bool {
 	if s.stopped || !s.drainTop() {
 		return false
 	}
 	ev := s.popTop()
-	if ev.slot >= 0 {
-		s.releaseSlot(ev.slot)
-	}
+	sl := &s.slots[ev.slot]
+	fn, pfn, arg := sl.fn, sl.pfn, sl.arg
+	s.releaseSlot(ev.slot)
 	s.live--
 	s.now = ev.at
 	s.executed++
-	if ev.fn != nil {
-		ev.fn()
-	} else if ev.pfn != nil {
-		ev.pfn(ev.arg)
+	if fn != nil {
+		fn()
+	} else if pfn != nil {
+		pfn(arg)
 	}
 	return true
 }
@@ -363,13 +388,10 @@ func (s *Scheduler) maybeCompact() {
 	}
 	kept := s.heap[:0]
 	for _, ev := range s.heap {
-		if ev.slot >= 0 && s.slots[ev.slot].gen != ev.gen {
+		if s.slots[ev.slot].gen != ev.gen {
 			continue
 		}
 		kept = append(kept, ev)
-	}
-	for i := len(kept); i < len(s.heap); i++ {
-		s.heap[i] = event{}
 	}
 	s.heap = kept
 	s.tomb = 0

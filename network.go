@@ -30,6 +30,7 @@ type networkConfig struct {
 	propDelay   time.Duration
 	noCollision bool
 	noCSMA      bool
+	perReceiver bool
 	seed        int64
 	moteCfg     mote.Config
 	bounds      Rect
@@ -84,6 +85,15 @@ func WithoutCollisions() Option {
 // when the channel around them is busy (an ablation of the MAC layer).
 func WithoutCSMA() Option {
 	return optionFunc(func(c *networkConfig) { c.noCSMA = true })
+}
+
+// WithPerReceiverDelivery switches the radio medium to the pre-batching
+// reference path: one scheduler event per target receiver instead of one
+// pooled delivery batch per frame. Traces are byte-identical either way
+// (the equivalence tests pin this); the option exists for differential
+// testing, not tuning.
+func WithPerReceiverDelivery() Option {
+	return optionFunc(func(c *networkConfig) { c.perReceiver = true })
 }
 
 // WithSeed makes the run deterministic under the given seed (default 1).
@@ -154,6 +164,12 @@ type Network struct {
 	nodes   map[NodeID]*Node
 	started bool
 
+	// hot is the struct-of-arrays mirror of the per-mote hot fields
+	// (position, failure, CPU queue, membership/sensing words); every
+	// deployed mote is registered into it, so the sensing sweep and the
+	// series probes walk dense slices instead of the nodes map.
+	hot *mote.HotState
+
 	// ctxTypes are the attached context type names in attach order, for
 	// the built-in series probes.
 	ctxTypes []string
@@ -185,12 +201,13 @@ func New(opts ...Option) (*Network, error) {
 	var stats trace.Stats
 	rng := rand.New(rand.NewSource(cfg.seed))
 	medium := radio.New(sched, radio.Params{
-		CommRadius:        cfg.commRadius,
-		BitRate:           cfg.bitRate,
-		PropDelay:         cfg.propDelay,
-		LossProb:          cfg.lossProb,
-		DisableCollisions: cfg.noCollision,
-		DisableCSMA:       cfg.noCSMA,
+		CommRadius:          cfg.commRadius,
+		BitRate:             cfg.bitRate,
+		PropDelay:           cfg.propDelay,
+		LossProb:            cfg.lossProb,
+		DisableCollisions:   cfg.noCollision,
+		DisableCSMA:         cfg.noCSMA,
+		PerReceiverDelivery: cfg.perReceiver,
 	}, rng, &stats)
 	medium.SetObserver(cfg.bus)
 
@@ -204,6 +221,7 @@ func New(opts ...Option) (*Network, error) {
 		rng:    rng,
 		bus:    cfg.bus,
 		nodes:  make(map[NodeID]*Node),
+		hot:    mote.NewHotState(),
 	}
 	if !cfg.boundsSet {
 		n.cfg.bounds = geom.Grid{Cols: cfg.cols, Rows: cfg.rows}.Bounds()
@@ -237,6 +255,7 @@ func (n *Network) AddMote(id NodeID, pos Point, model *SensorModel) (*Node, erro
 	if err != nil {
 		return nil, fmt.Errorf("envirotrack: %w", err)
 	}
+	m.BindHot(n.hot)
 	m.SetObserver(n.bus)
 	stack := core.NewStack(m, n.medium, core.StackConfig{
 		Bounds:       n.cfg.bounds,
@@ -311,6 +330,22 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 			return float64(total)
 		}},
 		{Name: "group_size", Sample: func() float64 {
+			// Fast path: membership bits live in the hot-state word slice,
+			// so the probe is one scan over []uint32. The pointer walk
+			// remains for the (unreachable in practice) >32-context case.
+			var mask uint32
+			ok := true
+			for _, ct := range n.ctxTypes {
+				m, found := n.hot.CtxMask(ct)
+				if !found {
+					ok = false
+					break
+				}
+				mask |= m
+			}
+			if ok && !n.hot.Overflowed() {
+				return float64(n.hot.MemberCountMask(mask))
+			}
 			total := 0
 			for _, id := range n.medium.NodeIDs() {
 				node := n.nodes[id]
@@ -324,11 +359,7 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 			return float64(total)
 		}},
 		{Name: "cpu_queue", Sample: func() float64 {
-			total := 0
-			for _, id := range n.medium.NodeIDs() {
-				total += n.nodes[id].mote.Queued()
-			}
-			return float64(total)
+			return float64(n.hot.QueuedTotal())
 		}},
 		{Name: "link_util", Sample: func() float64 {
 			return n.stats.LinkUtilization(n.sched.Now(), n.medium.Params().BitRate)
@@ -377,16 +408,35 @@ func (n *Network) InjectFaults(sc chaos.Schedule) error {
 	return nil
 }
 
-// start launches the sensing scans once.
+// start launches the sensing scans once. All sensing motes share the one
+// SensePeriod from the network config, so instead of one ticker per mote
+// the network arms a single sweep ticker that scans every sensing mote in
+// ascending id order — the same scan order and timestamps the per-mote
+// tickers produced (motes started in id order fire back-to-back each
+// period), at one scheduler event per period instead of one per mote.
 func (n *Network) start() {
 	if n.started {
 		return
 	}
 	n.started = true
-	// Deterministic start order: map iteration order would leak into the
+	// Deterministic sweep order: map iteration order would leak into the
 	// scheduler's same-instant FIFO ordering.
+	var sweep []*mote.Mote
+	var period time.Duration
 	for _, id := range n.medium.NodeIDs() {
-		n.nodes[id].mote.Start()
+		m := n.nodes[id].mote
+		m.StartManaged()
+		if m.HasModel() {
+			sweep = append(sweep, m)
+			period = m.Config().SensePeriod
+		}
+	}
+	if len(sweep) > 0 {
+		simtime.NewTicker(n.sched, period, func() {
+			for _, m := range sweep {
+				m.ScanOnce()
+			}
+		})
 	}
 }
 
