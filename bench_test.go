@@ -370,6 +370,11 @@ func BenchmarkTracingOverhead(b *testing.B) {
 		defer eval.SetMetricsRegistry(nil)
 		run(b)
 	})
+	b.Run("spans", func(b *testing.B) {
+		eval.SetEventSink(envirotrack.NewSpanSink())
+		defer eval.SetEventSink(nil)
+		run(b)
+	})
 }
 
 // BenchmarkSweepSerialVsParallel times the same Figure 4 sweep through the
@@ -484,6 +489,29 @@ func BenchmarkGenerateGo(b *testing.B) {
 		if _, err := envirotrack.GenerateGo(benchTrackerSource, "gen"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// calibrationSink defeats dead-code elimination of the calibration loop.
+var calibrationSink uint64
+
+// BenchmarkMachineCalibration measures the host, not the simulator: a
+// fixed pure-arithmetic workload (xorshift64, no memory traffic) that
+// MUST NEVER CHANGE. benchcmp compares this benchmark between two
+// BENCH_N.json snapshots to estimate how much faster or slower the
+// machine itself was, and normalizes the throughput comparison by that
+// ratio — so CPU steal on a shared host between two `make bench` runs
+// does not read as a simulator regression (or mask a real one behind a
+// faster host).
+func BenchmarkMachineCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(2463534242)
+		for j := 0; j < 20_000_000; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		calibrationSink = x
 	}
 }
 

@@ -9,6 +9,13 @@
 // allocs/op) regress upward, rate units (runs/s, sim_s_per_wall_s, and
 // anything else) regress downward.
 //
+// When both files contain the machine-calibration benchmark (a fixed
+// arithmetic workload whose code never changes — see -calibration), the
+// comparison is normalized by the host-speed ratio it measures: snapshots
+// are taken at different times on a shared machine, and CPU steal between
+// them would otherwise read as a simulator regression (or a faster host
+// would mask a real one).
+//
 // -gate-zero-allocs adds an absolute check on top of the relative one:
 // any benchmark that reported 0 allocs/op in the baseline must still
 // report 0 in the new file. The zero-allocation core is a hard invariant,
@@ -27,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -100,7 +108,14 @@ func parseFile(path string) (results, error) {
 }
 
 // parseBenchLine folds one `BenchmarkName  N  v1 unit1  v2 unit2 ...`
-// line into res. Non-benchmark lines are ignored.
+// line into res. Non-benchmark lines are ignored. When a benchmark
+// appears more than once (`-count` samples, or the steady-state
+// micro-bench pass `make bench` appends), the best measurement wins —
+// minimum for /op costs, maximum for rates. Scheduler noise on a shared
+// machine is one-sided (contention only ever slows a benchmark down), so
+// best-of-N estimates true capability and keeps the regression gate from
+// tripping on a single unlucky sample; it also lets the steady-state
+// pass's 0 allocs/op supersede the warm-up-polluted 1x figure.
 func parseBenchLine(res results, line string) {
 	line = strings.TrimSpace(line)
 	if !strings.HasPrefix(line, "Benchmark") {
@@ -125,7 +140,15 @@ func parseBenchLine(res results, line string) {
 			metrics = map[string]float64{}
 			res[name] = metrics
 		}
-		metrics[fields[i+1]] = v
+		unit := fields[i+1]
+		if prev, ok := metrics[unit]; ok {
+			if lowerIsBetter(unit) {
+				v = math.Min(prev, v)
+			} else {
+				v = math.Max(prev, v)
+			}
+		}
+		metrics[unit] = v
 	}
 }
 
@@ -134,10 +157,25 @@ func lowerIsBetter(unit string) bool {
 	return strings.HasSuffix(unit, "/op")
 }
 
+// speedFactor estimates how fast the new file's machine was relative to
+// the baseline's, from a calibration benchmark (a fixed workload whose
+// code never changes, so its ns/op ratio measures the host alone).
+// Returns 1 when either file lacks the benchmark — comparisons then run
+// unnormalized, as before calibration existed.
+func speedFactor(base, fresh results, calib string) float64 {
+	b, f := base[calib]["ns/op"], fresh[calib]["ns/op"]
+	if b <= 0 || f <= 0 {
+		return 1
+	}
+	return b / f
+}
+
 // compare evaluates one metric across the benchmarks present in both
-// files. It returns the comparison report and whether any benchmark
-// regressed beyond maxRegress (a fraction, e.g. 0.10 for 10%).
-func compare(base, fresh results, metric string, maxRegress float64) (string, bool) {
+// files, normalizing the new file's values by the machine speed factor
+// (rates divide by it, /op costs multiply). It returns the comparison
+// report and whether any benchmark regressed beyond maxRegress (a
+// fraction, e.g. 0.10 for 10%).
+func compare(base, fresh results, metric string, maxRegress, speed float64) (string, bool) {
 	var names []string
 	for name, m := range base {
 		if _, ok := m[metric]; !ok {
@@ -155,6 +193,11 @@ func compare(base, fresh results, metric string, maxRegress float64) (string, bo
 	fmt.Fprintf(&sb, "%-40s %14s %14s %9s\n", "benchmark ("+metric+")", "baseline", "new", "delta")
 	for _, name := range names {
 		old, now := base[name][metric], fresh[name][metric]
+		if lowerIsBetter(metric) {
+			now *= speed
+		} else {
+			now /= speed
+		}
 		var delta float64
 		if old != 0 {
 			delta = (now - old) / old
@@ -213,6 +256,8 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.10, "failure threshold as a fraction (0.10 = 10%)")
 	gateZeroAllocs := flag.Bool("gate-zero-allocs", false,
 		"fail if any benchmark at 0 allocs/op in the baseline becomes nonzero")
+	calibration := flag.String("calibration", "BenchmarkMachineCalibration",
+		"fixed-workload benchmark used to normalize for machine speed; empty disables")
 	flag.Parse()
 	if *baseline == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -new are required")
@@ -229,13 +274,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
+	speed := 1.0
+	if *calibration != "" {
+		if speed = speedFactor(base, fresh, *calibration); speed != 1 {
+			fmt.Printf("calibration: machine ran at %.2fx baseline speed (%s); normalizing\n",
+				speed, *calibration)
+		}
+	}
 	anyRegressed := false
 	for _, m := range strings.Split(*metric, ",") {
 		m = strings.TrimSpace(m)
 		if m == "" {
 			continue
 		}
-		report, regressed := compare(base, fresh, m, *maxRegress)
+		report, regressed := compare(base, fresh, m, *maxRegress, speed)
 		fmt.Print(report)
 		anyRegressed = anyRegressed || regressed
 	}

@@ -73,39 +73,39 @@ func TestCompareDirections(t *testing.T) {
 		"BenchmarkA": {"sim_s_per_wall_s": 850, "allocs/op": 100},
 		"BenchmarkB": {"sim_s_per_wall_s": 510},
 	}
-	report, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10)
+	report, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10, 1)
 	if !regressed {
 		t.Fatalf("15%% throughput drop not flagged; report:\n%s", report)
 	}
 
 	// Within threshold: no failure.
 	fresh["BenchmarkA"]["sim_s_per_wall_s"] = 950
-	if report, regressed = compare(base, fresh, "sim_s_per_wall_s", 0.10); regressed {
+	if report, regressed = compare(base, fresh, "sim_s_per_wall_s", 0.10, 1); regressed {
 		t.Fatalf("5%% drop flagged as regression; report:\n%s", report)
 	}
 
 	// Lower-is-better metric: an increase beyond the threshold regresses,
 	// a decrease does not.
 	fresh["BenchmarkA"]["allocs/op"] = 150
-	if _, regressed = compare(base, fresh, "allocs/op", 0.10); !regressed {
+	if _, regressed = compare(base, fresh, "allocs/op", 0.10, 1); !regressed {
 		t.Fatal("50% allocs/op increase not flagged")
 	}
 	fresh["BenchmarkA"]["allocs/op"] = 10
-	if _, regressed = compare(base, fresh, "allocs/op", 0.10); regressed {
+	if _, regressed = compare(base, fresh, "allocs/op", 0.10, 1); regressed {
 		t.Fatal("allocs/op improvement flagged as regression")
 	}
 
 	// Benchmarks missing from either side are skipped, not regressions.
-	if _, regressed = compare(base, results{}, "sim_s_per_wall_s", 0.10); regressed {
+	if _, regressed = compare(base, results{}, "sim_s_per_wall_s", 0.10, 1); regressed {
 		t.Fatal("empty new file flagged as regression")
 	}
 }
 
-func TestParseBenchLineLaterEntriesWin(t *testing.T) {
+func TestParseBenchLineBestEntryWins(t *testing.T) {
 	// make bench appends a steady-state micro-bench pass after the
-	// -benchtime 1x sweep; the later (higher-benchtime) measurement must
-	// replace the warm-up-polluted one so the zero-alloc gate sees the
-	// pooled core's true steady state.
+	// -benchtime 1x sweep; the steady (cheaper) measurement must replace
+	// the warm-up-polluted one so the zero-alloc gate sees the pooled
+	// core's true steady state.
 	res := results{}
 	parseBenchLine(res, "BenchmarkSchedulerChurn \t       1\t     793.0 ns/op\t      48 B/op\t       1 allocs/op")
 	parseBenchLine(res, "BenchmarkSchedulerChurn \t  100000\t      23.0 ns/op\t       0 B/op\t       0 allocs/op")
@@ -114,6 +114,63 @@ func TestParseBenchLineLaterEntriesWin(t *testing.T) {
 	}
 	if got := res["BenchmarkSchedulerChurn"]["ns/op"]; got != 23.0 {
 		t.Fatalf("ns/op = %v, want steady-state 23", got)
+	}
+
+	// -count samples fold best-of: max for rate metrics (noise only ever
+	// slows a run down), min for /op costs — regardless of sample order.
+	res = results{}
+	parseBenchLine(res, "BenchmarkLargeField/10k \t 3\t 60000000 ns/op\t 33.10 sim_s_per_wall_s")
+	parseBenchLine(res, "BenchmarkLargeField/10k \t 3\t 90000000 ns/op\t 22.40 sim_s_per_wall_s")
+	parseBenchLine(res, "BenchmarkLargeField/10k \t 3\t 70000000 ns/op\t 28.70 sim_s_per_wall_s")
+	if got := res["BenchmarkLargeField/10k"]["sim_s_per_wall_s"]; got != 33.10 {
+		t.Fatalf("sim_s_per_wall_s = %v, want best sample 33.10", got)
+	}
+	if got := res["BenchmarkLargeField/10k"]["ns/op"]; got != 60000000 {
+		t.Fatalf("ns/op = %v, want best sample 60000000", got)
+	}
+}
+
+func TestCalibrationNormalization(t *testing.T) {
+	base := results{
+		"BenchmarkMachineCalibration": {"ns/op": 30_000_000},
+		"BenchmarkA":                  {"sim_s_per_wall_s": 1000},
+	}
+	// The host ran 25% slower for the new snapshot: the calibration
+	// workload took a third longer, and the simulator's rate dropped in
+	// proportion. Unnormalized this reads as a 25% regression;
+	// normalized it is parity.
+	fresh := results{
+		"BenchmarkMachineCalibration": {"ns/op": 40_000_000},
+		"BenchmarkA":                  {"sim_s_per_wall_s": 750},
+	}
+	speed := speedFactor(base, fresh, "BenchmarkMachineCalibration")
+	if speed != 0.75 {
+		t.Fatalf("speed factor = %v, want 0.75", speed)
+	}
+	if report, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10, speed); regressed {
+		t.Fatalf("machine slowdown flagged as regression:\n%s", report)
+	}
+	if _, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10, 1); !regressed {
+		t.Fatal("sanity: the same numbers unnormalized must regress")
+	}
+
+	// A real regression is still caught under normalization: the host got
+	// faster, masking a throughput drop in the raw numbers.
+	fresh = results{
+		"BenchmarkMachineCalibration": {"ns/op": 15_000_000}, // host 2x faster
+		"BenchmarkA":                  {"sim_s_per_wall_s": 1100},
+	}
+	speed = speedFactor(base, fresh, "BenchmarkMachineCalibration")
+	if speed != 2 {
+		t.Fatalf("speed factor = %v, want 2", speed)
+	}
+	if _, regressed := compare(base, fresh, "sim_s_per_wall_s", 0.10, speed); !regressed {
+		t.Fatal("host speedup masked a real throughput regression")
+	}
+
+	// Missing calibration in either file degrades to unnormalized.
+	if got := speedFactor(base, results{}, "BenchmarkMachineCalibration"); got != 1 {
+		t.Fatalf("speed factor without calibration = %v, want 1", got)
 	}
 }
 

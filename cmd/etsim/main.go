@@ -29,6 +29,7 @@
 // Profiling (see also `make profile`):
 //
 //	etsim -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	etsim -exp table1 -selfprofile          # per-subsystem scheduler attribution
 package main
 
 import (
@@ -62,6 +63,7 @@ type config struct {
 	progress    bool
 	chaosSpec   string
 	checkInv    bool
+	selfProfile bool
 	stdout      io.Writer
 	stderr      io.Writer
 }
@@ -81,6 +83,7 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "report live sweep progress (done/total, rate, ETA) on stderr")
 	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault schedule for the Figure 3 run, e.g. \"crash:node=5,at=300s,for=60s;loss:at=100s,for=60s,p=0.5\"")
 	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
+	flag.BoolVar(&cfg.selfProfile, "selfprofile", false, "profile the scheduler: per-subsystem event counts and wall time, printed after the run (and exported with -metrics-out)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -171,6 +174,7 @@ func run(cfg config) error {
 		eval.SetSeriesCadence(0)
 		eval.DrainSeries()
 		eval.SetProgressWriter(nil)
+		eval.SetSelfProfile(nil)
 	}()
 	if cfg.progress {
 		eval.SetProgressWriter(cfg.stderr)
@@ -200,6 +204,11 @@ func run(cfg config) error {
 			every = 5 * time.Second
 		}
 		eval.SetSeriesCadence(every)
+	}
+	var prof *envirotrack.SelfProfile
+	if cfg.selfProfile {
+		prof = envirotrack.NewSelfProfile()
+		eval.SetSelfProfile(prof)
 	}
 
 	chaosSched, err := envirotrack.ParseChaosSchedule(cfg.chaosSpec)
@@ -324,6 +333,12 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	if prof != nil {
+		if reg != nil {
+			envirotrack.ExportSelfProfile(reg, prof)
+		}
+		printSelfProfile(cfg.stderr, prof)
+	}
 	if reg != nil {
 		if err := writeMetrics(reg, cfg.metricsOut); err != nil {
 			return err
@@ -353,6 +368,29 @@ func writeSeries(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// printSelfProfile renders the scheduler self-profile as a table on w
+// (stderr, so it composes with -format json on stdout). Wall time is
+// real time spent inside event callbacks, attributed to the subsystem
+// that scheduled each event; it aggregates every run of the sweep.
+func printSelfProfile(w io.Writer, prof *envirotrack.SelfProfile) {
+	totalEvents, totalNanos := prof.TotalEvents(), prof.TotalNanos()
+	fmt.Fprintf(w, "\nscheduler self-profile (%d events, %v wall in callbacks):\n",
+		totalEvents, time.Duration(totalNanos).Round(time.Millisecond))
+	fmt.Fprintf(w, "%-10s %12s %12s %7s %10s\n", "subsystem", "events", "wall", "%wall", "ns/event")
+	for _, st := range prof.Snapshot() {
+		if st.Events == 0 {
+			continue
+		}
+		pct := 0.0
+		if totalNanos > 0 {
+			pct = 100 * float64(st.WallNanos) / float64(totalNanos)
+		}
+		fmt.Fprintf(w, "%-10s %12d %12v %6.1f%% %10.0f\n",
+			st.Name, st.Events, time.Duration(st.WallNanos).Round(time.Microsecond),
+			pct, float64(st.WallNanos)/float64(st.Events))
+	}
 }
 
 // writeMetrics renders the registry in Prometheus text format.

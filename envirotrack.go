@@ -47,6 +47,7 @@ import (
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/sensor"
+	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
 	"envirotrack/internal/transport"
 )
@@ -257,6 +258,72 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewMetricsSink registers protocol metrics on reg and returns the sink
 // feeding them.
 func NewMetricsSink(reg *MetricsRegistry) *MetricsSink { return obs.NewMetricsSink(reg) }
+
+// Causal span assembly.
+type (
+	// SpanSink is an EventSink assembling end-to-end report spans (per-hop
+	// waterfalls with delivery latency or an attributed drop root cause)
+	// and leadership-handover spans from the event stream. It works both
+	// live on a bus and offline over a parsed JSONL trace (cmd/ettrace).
+	SpanSink = obs.SpanSink
+	// ReportSpan is the assembled life of one correlated message.
+	ReportSpan = obs.ReportSpan
+	// SpanHop is one radio transmission within a report span.
+	SpanHop = obs.Hop
+	// HandoverSpan is one leadership takeover with its causal chain.
+	HandoverSpan = obs.HandoverSpan
+	// SpanEvent is one entry of a handover span's causal chain.
+	SpanEvent = obs.SpanEvent
+)
+
+// NewSpanSink returns an empty span assembler.
+func NewSpanSink() *SpanSink { return obs.NewSpanSink() }
+
+// ParseTraceEvent decodes one JSONL trace line (as written by a JSONLSink)
+// back into a TraceEvent.
+func ParseTraceEvent(line []byte) (TraceEvent, error) { return obs.ParseEvent(line) }
+
+// RegisterRuntimeGauges adds Go runtime health gauges (goroutines, heap
+// bytes, p99 GC pause, p99 scheduler latency) to the registry; they
+// refresh at scrape time.
+func RegisterRuntimeGauges(reg *MetricsRegistry) { obs.RegisterRuntimeGauges(reg) }
+
+// Scheduler self-profiling.
+type (
+	// SelfProfile accumulates per-subsystem event counts and wall time for
+	// every simulation event the scheduler dispatches; attach one with
+	// WithSelfProfile. One profile may be shared by several networks (the
+	// counters are atomic), aggregating a parallel sweep.
+	SelfProfile = simtime.Profile
+	// SubsystemStat is one row of a SelfProfile snapshot.
+	SubsystemStat = simtime.OwnerStat
+)
+
+// NewSelfProfile builds an empty scheduler self-profile.
+func NewSelfProfile() *SelfProfile { return simtime.NewProfile() }
+
+// ExportSelfProfile publishes a profile snapshot into a metrics registry
+// as envirotrack_sched_events_total and
+// envirotrack_sched_wall_nanos_total, labeled by subsystem. It is
+// idempotent: repeated calls advance the (monotonic) counters to the
+// latest snapshot.
+func ExportSelfProfile(reg *MetricsRegistry, p *SelfProfile) {
+	events := reg.CounterVec("envirotrack_sched_events_total",
+		"Simulation events dispatched, by owning subsystem.", "subsystem")
+	wall := reg.CounterVec("envirotrack_sched_wall_nanos_total",
+		"Wall-clock nanoseconds spent in simulation event callbacks, by owning subsystem.", "subsystem")
+	for _, st := range p.Snapshot() {
+		if st.Events == 0 && st.WallNanos == 0 {
+			continue
+		}
+		if c := events.With(st.Name); st.Events > c.Value() {
+			c.Add(st.Events - c.Value())
+		}
+		if c := wall.With(st.Name); uint64(st.WallNanos) > c.Value() {
+			c.Add(uint64(st.WallNanos) - c.Value())
+		}
+	}
+}
 
 // Fault injection and invariant checking.
 type (

@@ -1,0 +1,188 @@
+// Trace analysis walkthrough: capture a causal trace of a tracking
+// scenario, assemble report spans live, and leave a JSONL trace behind
+// for the offline analyzer.
+//
+// The scenario is the quickstart's vehicle chase with lossier radios, so
+// some member readings and base-station reports die on the air. Three
+// observability tools watch the same run:
+//
+//   - a SpanSink assembles every correlated message's end-to-end life —
+//     per-hop waterfall, delivery latency, or a root cause for the loss;
+//
+//   - a JSONLSink streams the raw event stream to trace.jsonl, which
+//     `go run ./cmd/ettrace trace.jsonl` analyzes offline (same spans,
+//     rebuilt from the file);
+//
+//   - a scheduler SelfProfile attributes simulation work (event counts
+//     and wall time) to the subsystem that scheduled it.
+//
+//     go run ./examples/traceanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"envirotrack"
+)
+
+const baseStation envirotrack.NodeID = 999
+
+func main() {
+	if err := run("trace.jsonl"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote trace.jsonl — analyze it offline with:")
+	fmt.Println("  go run ./cmd/ettrace trace.jsonl")
+	fmt.Println("  go run ./cmd/ettrace -format json -top 3 trace.jsonl")
+}
+
+func run(tracePath string) error {
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer traceFile.Close()
+
+	// One bus fans the event stream out to both consumers; the self-profile
+	// hooks the scheduler directly.
+	spans := envirotrack.NewSpanSink()
+	jsonl := envirotrack.NewJSONLSink(traceFile)
+	profile := envirotrack.NewSelfProfile()
+
+	net, err := envirotrack.New(
+		envirotrack.WithGrid(10, 3),
+		envirotrack.WithCommRadius(2.5),
+		envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
+		envirotrack.WithLossProb(0.15), // lossy on purpose: we want root causes
+		envirotrack.WithSeed(7),
+		envirotrack.WithEventBus(envirotrack.NewEventBus(spans, jsonl)),
+		envirotrack.WithSelfProfile(profile),
+	)
+	if err != nil {
+		return err
+	}
+
+	tracker := envirotrack.ContextType{
+		Name: "tracker",
+		Activation: func(rd envirotrack.Reading) bool {
+			v, _ := rd.Value("magnetic_detect")
+			return v > 0.5
+		},
+		Vars: []envirotrack.AggVar{{
+			Name:         "location",
+			Func:         envirotrack.Centroid,
+			Input:        envirotrack.PositionInput,
+			Freshness:    time.Second,
+			CriticalMass: 2,
+		}},
+		Objects: []envirotrack.Object{{
+			Name: "reporter",
+			Methods: []envirotrack.Method{{
+				Name:   "report_function",
+				Period: time.Second,
+				Body: func(ctx *envirotrack.Ctx, _ envirotrack.Trigger) {
+					if loc, ok := ctx.ReadPosition("location"); ok {
+						ctx.SendNode(baseStation, loc)
+					}
+				},
+			}},
+		}},
+		Group: envirotrack.GroupConfig{
+			HeartbeatPeriod: 500 * time.Millisecond,
+			HopsPast:        1,
+		},
+	}
+	if err := net.AttachContextAll(tracker); err != nil {
+		return err
+	}
+	if _, err := net.AddMote(baseStation, envirotrack.Pt(9, 3), nil); err != nil {
+		return err
+	}
+	net.AddTarget(&envirotrack.Target{
+		Name: "car-1", Kind: "vehicle",
+		Traj: envirotrack.Line{
+			Start: envirotrack.Pt(-1.5, 1),
+			Dir:   envirotrack.Vec(1, 0),
+			Speed: 0.2,
+		},
+		SignatureRadius: 1.6,
+	})
+
+	session := net.RunSession(30*time.Second, baseStation)
+	received := 0
+	for range session.Events() {
+		received++
+	}
+	if err := session.Wait(); err != nil {
+		return err
+	}
+	if err := jsonl.Flush(); err != nil {
+		return err
+	}
+
+	// --- Span analysis: what happened to every message this run sent? ---
+	reports := spans.Reports()
+	delivered, undelivered := 0, map[string]int{}
+	var worst envirotrack.ReportSpan
+	for _, sp := range reports {
+		if sp.Delivered {
+			delivered++
+			if sp.Latency > worst.Latency {
+				worst = sp
+			}
+		} else {
+			undelivered[sp.RootCause]++
+		}
+	}
+	fmt.Printf("base station received %d reports\n", received)
+	fmt.Printf("%d correlated messages traced: %d delivered, %d lost\n",
+		len(reports), delivered, len(reports)-delivered)
+
+	causes := make([]string, 0, len(undelivered))
+	for c := range undelivered {
+		causes = append(causes, c)
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if undelivered[causes[i]] != undelivered[causes[j]] {
+			return undelivered[causes[i]] > undelivered[causes[j]]
+		}
+		return causes[i] < causes[j]
+	})
+	fmt.Println("\nwhy messages were lost:")
+	for _, c := range causes {
+		fmt.Printf("  %-14s %d\n", c, undelivered[c])
+	}
+
+	// The slowest delivery, hop by hop — the span's radio waterfall.
+	if worst.Delivered {
+		fmt.Printf("\nslowest delivery: %s from mote %d, %d hop(s), %v end to end\n",
+			worst.Kind, worst.Src, len(worst.Hops), worst.Latency)
+		for _, h := range worst.Hops {
+			to := fmt.Sprint(h.To)
+			if h.To < 0 {
+				to = "-"
+			}
+			fmt.Printf("  t=%-8v %d -> %-4s %s\n", h.SentAt, h.From, to, h.Outcome)
+		}
+	}
+
+	for _, h := range spans.Handovers() {
+		fmt.Printf("\nleadership handover on %q: leader %d -> %d after %v of silence\n",
+			h.Label, h.OldLeader, h.NewLeader, h.Gap)
+	}
+
+	// --- Self-profile: where did the simulator spend its time? ---
+	fmt.Println("\nscheduler self-profile (events per subsystem):")
+	for _, st := range profile.Snapshot() {
+		if st.Events == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %7d events  %v\n",
+			st.Name, st.Events, time.Duration(st.WallNanos).Round(time.Microsecond))
+	}
+	return nil
+}

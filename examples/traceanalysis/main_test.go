@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"envirotrack"
+)
+
+// TestRunCompletes is the example's smoke test: the walkthrough must run
+// its scenario to completion and leave behind a JSONL trace the offline
+// span assembler (the ettrace path) can rebuild spans from.
+func TestRunCompletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := envirotrack.NewSpanSink()
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		ev, err := envirotrack.ParseTraceEvent(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.Emit(ev)
+	}
+	if len(sink.Reports()) == 0 {
+		t.Fatal("trace rebuilt no report spans")
+	}
+}

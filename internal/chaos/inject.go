@@ -46,9 +46,9 @@ func NewInjector(sched *simtime.Scheduler, sc Schedule, hooks Hooks) (*Injector,
 	in := &Injector{sc: sc, hooks: hooks}
 	for _, c := range sc.Crashes {
 		c := c
-		sched.At(c.At, func() { in.hooks.Fail(c.Node) })
+		sched.AtOwned(c.At, simtime.OwnerChaos, func() { in.hooks.Fail(c.Node) })
 		if c.For > 0 {
-			sched.At(c.At+c.For, func() { in.hooks.Restore(c.Node) })
+			sched.AtOwned(c.At+c.For, simtime.OwnerChaos, func() { in.hooks.Restore(c.Node) })
 		}
 	}
 	return in, nil

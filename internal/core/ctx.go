@@ -111,6 +111,8 @@ func (c *Ctx) SendNode(dst radio.NodeID, payload any) {
 			FromLabel: c.label,
 			Payload:   payload,
 		},
+		Corr:      radio.Corr{Origin: int32(c.stack.m.ID()), Seq: c.stack.m.NextCorrSeq()},
+		CorrLabel: string(c.label),
 	})
 }
 

@@ -185,7 +185,7 @@ func (s *Stack) AttachStatic(label group.Label, objects []ObjectSpec) (*Ctx, err
 				})
 			}
 			if method.Period > 0 {
-				simtime.NewTicker(s.m.Scheduler(), method.Period, func() {
+				simtime.NewTickerOwned(s.m.Scheduler(), method.Period, simtime.OwnerApp, func() {
 					if s.m.Failed() {
 						return
 					}
@@ -202,7 +202,7 @@ func (s *Stack) AttachStatic(label group.Label, objects []ObjectSpec) (*Ctx, err
 			s.dir.Register(transportLabelType(label), label, s.m.Pos(), s.m.ID())
 		}
 		register()
-		simtime.NewTicker(s.m.Scheduler(), s.cfg.DirectoryRefresh, func() {
+		simtime.NewTickerOwned(s.m.Scheduler(), s.cfg.DirectoryRefresh, simtime.OwnerDirectory, func() {
 			if !s.m.Failed() {
 				register()
 			}
@@ -357,7 +357,7 @@ func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
 				})
 			}
 			if method.Period > 0 {
-				tk := simtime.NewTicker(rt.stack.m.Scheduler(), method.Period, func() {
+				tk := simtime.NewTickerOwned(rt.stack.m.Scheduler(), method.Period, simtime.OwnerApp, func() {
 					if rt.ctx == nil || rt.stack.m.Failed() {
 						return
 					}
@@ -377,7 +377,7 @@ func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
 			rt.stack.dir.Register(rt.spec.Name, label, rt.stack.m.Pos(), rt.stack.m.ID())
 		}
 		register()
-		rt.dirTicker = simtime.NewTicker(rt.stack.m.Scheduler(), rt.stack.cfg.DirectoryRefresh, func() {
+		rt.dirTicker = simtime.NewTickerOwned(rt.stack.m.Scheduler(), rt.stack.cfg.DirectoryRefresh, simtime.OwnerDirectory, func() {
 			if !rt.stack.m.Failed() && rt.ctx != nil {
 				register()
 			}

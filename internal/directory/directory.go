@@ -138,6 +138,9 @@ type pendingQuery struct {
 	cb       func([]Entry)
 	attempts int
 	timer    simtime.Timer
+	// corr is minted once per query; retransmissions share it, so every
+	// attempt's frames land in one span.
+	corr radio.Corr
 }
 
 // NewService attaches a directory service to the mote's router.
@@ -166,11 +169,13 @@ func (s *Service) Register(ctxType string, label group.Label, location geom.Poin
 		UpdatedAt: s.m.Scheduler().Now(),
 	}
 	s.router.Send(routing.Message{
-		Kind:     trace.KindDirectory,
-		Dest:     HashPoint(ctxType, s.cfg.Bounds),
-		DestNode: routing.AnyNode,
-		Bits:     s.cfg.MessageBits,
-		Payload:  registerMsg{Entry: e},
+		Kind:      trace.KindDirectory,
+		Dest:      HashPoint(ctxType, s.cfg.Bounds),
+		DestNode:  routing.AnyNode,
+		Bits:      s.cfg.MessageBits,
+		Payload:   registerMsg{Entry: e},
+		Corr:      radio.Corr{Origin: int32(s.m.ID()), Seq: s.m.NextCorrSeq()},
+		CorrLabel: string(label),
 	})
 }
 
@@ -185,22 +190,25 @@ const unregisterRepeats = 3
 // repeated a few times with spacing to survive collisions.
 func (s *Service) Unregister(ctxType string, label group.Label) {
 	msg := unregisterMsg{CtxType: ctxType, Label: label, At: s.m.Scheduler().Now()}
+	corr := radio.Corr{Origin: int32(s.m.ID()), Seq: s.m.NextCorrSeq()}
 	send := func() {
 		if s.m.Failed() {
 			return
 		}
 		s.router.Send(routing.Message{
-			Kind:     trace.KindDirectory,
-			Dest:     HashPoint(ctxType, s.cfg.Bounds),
-			DestNode: routing.AnyNode,
-			Bits:     s.cfg.MessageBits,
-			Payload:  msg,
+			Kind:      trace.KindDirectory,
+			Dest:      HashPoint(ctxType, s.cfg.Bounds),
+			DestNode:  routing.AnyNode,
+			Bits:      s.cfg.MessageBits,
+			Payload:   msg,
+			Corr:      corr,
+			CorrLabel: string(label),
 		})
 	}
 	send()
 	for i := 1; i < unregisterRepeats; i++ {
 		delay := time.Duration(float64(i)*150+s.m.Rand().Float64()*100) * time.Millisecond
-		s.m.Scheduler().After(delay, send)
+		s.m.Scheduler().AfterOwned(delay, simtime.OwnerDirectory, send)
 	}
 }
 
@@ -211,7 +219,7 @@ func (s *Service) Unregister(ctxType string, label group.Label) {
 func (s *Service) Query(ctxType string, cb func([]Entry)) {
 	s.nextQueryID++
 	id := s.nextQueryID
-	s.pending[id] = &pendingQuery{cb: cb}
+	s.pending[id] = &pendingQuery{cb: cb, corr: radio.Corr{Origin: int32(s.m.ID()), Seq: s.m.NextCorrSeq()}}
 	s.sendQuery(ctxType, id)
 }
 
@@ -232,8 +240,10 @@ func (s *Service) sendQuery(ctxType string, id uint64) {
 			ReplyTo:   s.m.Pos(),
 			ReplyNode: s.m.ID(),
 		},
+		Corr:      pq.corr,
+		CorrLabel: ctxType,
 	})
-	pq.timer = s.m.Scheduler().After(s.cfg.QueryTimeout, func() {
+	pq.timer = s.m.Scheduler().AfterOwned(s.cfg.QueryTimeout, simtime.OwnerDirectory, func() {
 		cur, ok := s.pending[id]
 		if !ok || cur != pq {
 			return
@@ -313,11 +323,13 @@ func (s *Service) answer(q queryMsg) {
 	entries := s.freshEntries(q.CtxType)
 	s.emit(obs.EvDirectoryQuery, q.CtxType, "", int(q.ReplyNode), "")
 	s.router.Send(routing.Message{
-		Kind:     trace.KindDirectory,
-		Dest:     q.ReplyTo,
-		DestNode: q.ReplyNode,
-		Bits:     s.cfg.MessageBits + 32*len(entries),
-		Payload:  replyMsg{QueryID: q.QueryID, Entries: entries},
+		Kind:      trace.KindDirectory,
+		Dest:      q.ReplyTo,
+		DestNode:  q.ReplyNode,
+		Bits:      s.cfg.MessageBits + 32*len(entries),
+		Payload:   replyMsg{QueryID: q.QueryID, Entries: entries},
+		Corr:      radio.Corr{Origin: int32(s.m.ID()), Seq: s.m.NextCorrSeq()},
+		CorrLabel: q.CtxType,
 	})
 }
 

@@ -22,6 +22,7 @@ var obsCfg struct {
 	series      []TaggedSeries
 	runs        *obs.Counter // optional runs-completed counter
 	perReceiver bool
+	selfProfile *envirotrack.SelfProfile
 }
 
 // SetPerReceiverDelivery makes every subsequent Run use the radio medium's
@@ -59,6 +60,15 @@ func SetMetricsRegistry(reg *obs.Registry) {
 	obsCfg.runs = reg.Counter("eval_runs_total", "Simulation runs completed.")
 }
 
+// SetSelfProfile attaches a scheduler self-profile to every subsequent
+// Run; nil disables. The profile's counters are atomic, so one profile
+// aggregates a parallel sweep.
+func SetSelfProfile(p *envirotrack.SelfProfile) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.selfProfile = p
+}
+
 // SetSeriesCadence makes every subsequent Run sample a health time series
 // on the given sim-time cadence, collected via DrainSeries; 0 disables.
 func SetSeriesCadence(d time.Duration) {
@@ -93,11 +103,14 @@ func DrainSeries() []TaggedSeries {
 func observeRun(sc Scenario, checker *envirotrack.InvariantChecker) (opts []envirotrack.Option, onNet func(*envirotrack.Network), done func()) {
 	obsCfg.mu.Lock()
 	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
-	perReceiver := obsCfg.perReceiver
+	perReceiver, selfProfile := obsCfg.perReceiver, obsCfg.selfProfile
 	obsCfg.mu.Unlock()
 
 	if perReceiver {
 		opts = append(opts, envirotrack.WithPerReceiverDelivery())
+	}
+	if selfProfile != nil {
+		opts = append(opts, envirotrack.WithSelfProfile(selfProfile))
 	}
 	var sinks []obs.Sink
 	if sink != nil {

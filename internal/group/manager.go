@@ -105,7 +105,8 @@ type pendingForward struct {
 	st    *hbState
 	seq   uint64
 	dups  int
-	hb    Heartbeat // copy to rebroadcast, HopsPast already decremented
+	hb    Heartbeat  // copy to rebroadcast, HopsPast already decremented
+	corr  radio.Corr // original correlation header, preserved verbatim
 	timer simtime.Timer
 	next  *pendingForward
 }
@@ -247,7 +248,7 @@ func (g *Manager) onStartSensing() {
 		return
 	}
 	backoff := time.Duration(g.m.Rand().Float64() * float64(g.cfg.CreationBackoff))
-	g.creationTimer = g.m.Scheduler().After(backoff, g.creationFire)
+	g.creationTimer = g.m.Scheduler().AfterOwned(backoff, simtime.OwnerGroup, g.creationFire)
 }
 
 func (g *Manager) onStopSensing() {
@@ -294,7 +295,7 @@ func (g *Manager) becomeLeader(label Label, weight uint64, state []byte) {
 func (g *Manager) scheduleNextHeartbeat() {
 	jitter := 1 + g.cfg.JitterFrac*(g.m.Rand().Float64()-0.5)
 	d := time.Duration(float64(g.cfg.HeartbeatPeriod) * jitter)
-	g.hbTimer = g.m.Scheduler().After(d, g.hbFire)
+	g.hbTimer = g.m.Scheduler().AfterOwned(d, simtime.OwnerGroup, g.hbFire)
 }
 
 func (g *Manager) sendHeartbeat() {
@@ -309,7 +310,8 @@ func (g *Manager) sendHeartbeat() {
 		HopsPast:  g.cfg.HopsPast,
 		State:     g.state,
 	}
-	g.m.Broadcast(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(g.state)*8, hb)
+	corr := radio.Corr{Origin: int32(g.m.ID()), Seq: g.m.NextCorrSeq()}
+	g.m.BroadcastTraced(trace.KindHeartbeat, g.cfg.HeartbeatBits+len(g.state)*8, hb, corr)
 	g.emit(obs.EvHeartbeatSent, g.label, radio.Broadcast, g.hbSeq)
 }
 
@@ -405,7 +407,7 @@ func (g *Manager) becomeMember(label Label, leader radio.NodeID, weight uint64, 
 func (g *Manager) armReceiveTimer() {
 	g.receiveTimer.Stop()
 	d := g.cfg.receiveTimeout(g.m.Rand().Float64())
-	g.receiveTimer = g.m.Scheduler().After(d, g.recvFire)
+	g.receiveTimer = g.m.Scheduler().AfterOwned(d, simtime.OwnerGroup, g.recvFire)
 }
 
 func (g *Manager) onReceiveTimeout() {
@@ -430,14 +432,14 @@ func (g *Manager) startReporting() {
 	// Desynchronize members: first report after a random fraction of the
 	// report period, then periodic.
 	first := time.Duration(g.m.Rand().Float64() * float64(g.cfg.ReportPeriod))
-	g.reportDelay = g.m.Scheduler().After(first, g.reportFirst)
+	g.reportDelay = g.m.Scheduler().AfterOwned(first, simtime.OwnerGroup, g.reportFirst)
 }
 
 // startReportTicker begins the periodic report cycle, reusing the ticker
 // object across membership episodes.
 func (g *Manager) startReportTicker() {
 	if g.reportTicker == nil {
-		g.reportTicker = simtime.NewTicker(g.m.Scheduler(), g.cfg.ReportPeriod, g.reportTick)
+		g.reportTicker = simtime.NewTickerOwned(g.m.Scheduler(), g.cfg.ReportPeriod, simtime.OwnerGroup, g.reportTick)
 	} else {
 		g.reportTicker.Reset(g.cfg.ReportPeriod)
 	}
@@ -449,7 +451,11 @@ func (g *Manager) sendReport() {
 		payload = g.cb.ReportPayload()
 	}
 	rep := Report{CtxType: g.ctxType, Label: g.label, Reporter: g.m.ID(), Payload: payload}
-	g.m.Send(trace.KindReading, g.leaderID, g.cfg.ReportBits, rep)
+	// Member readings are single-hop (no router involved), so the manager
+	// opens the report span itself; the leader's accept/reject closes it.
+	corr := radio.Corr{Origin: int32(g.m.ID()), Seq: g.m.NextCorrSeq()}
+	g.emitCorr(obs.EvReportSent, g.leaderID, g.label, corr, "")
+	g.m.SendTraced(trace.KindReading, g.leaderID, g.cfg.ReportBits, rep, corr)
 }
 
 func (g *Manager) stopReporting() {
@@ -481,7 +487,7 @@ func (g *Manager) rememberLabel(label Label, leader radio.NodeID, weight uint64,
 	g.waitWeight = weight
 	g.waitState = state
 	g.waitTimer.Stop()
-	g.waitTimer = g.m.Scheduler().After(g.cfg.waitTimeout(), noopFire)
+	g.waitTimer = g.m.Scheduler().AfterOwned(g.cfg.waitTimeout(), simtime.OwnerGroup, noopFire)
 }
 
 // setRole records a role transition, mirroring it into the mote's
@@ -508,13 +514,13 @@ func (g *Manager) handleFrame(f radio.Frame) bool {
 		if msg.CtxType != g.ctxType {
 			return false
 		}
-		g.onHeartbeat(msg)
+		g.onHeartbeat(msg, f.Corr)
 		return true
 	case Report:
 		if msg.CtxType != g.ctxType {
 			return false
 		}
-		g.onReport(msg)
+		g.onReport(msg, f.Corr)
 		return true
 	case Relinquish:
 		if msg.CtxType != g.ctxType {
@@ -527,7 +533,7 @@ func (g *Manager) handleFrame(f radio.Frame) bool {
 	}
 }
 
-func (g *Manager) onHeartbeat(hb Heartbeat) {
+func (g *Manager) onHeartbeat(hb Heartbeat, corr radio.Corr) {
 	// Deduplicate flood copies; duplicates feed the broadcast-storm
 	// suppression counter of a pending rebroadcast. The flood key
 	// "<label>/<leader>" is assembled in the scratch buffer; Go's
@@ -550,7 +556,7 @@ func (g *Manager) onHeartbeat(hb Heartbeat) {
 	}
 	st.seq = hb.Seq
 
-	g.forwardHeartbeat(st, hb)
+	g.forwardHeartbeat(st, hb, corr)
 
 	switch g.role {
 	case RoleLeader:
@@ -570,7 +576,7 @@ func (g *Manager) onHeartbeat(hb Heartbeat) {
 // handovers start to fail. Rebroadcasts are jittered, and counter-based
 // broadcast-storm suppression cancels a pending rebroadcast when enough
 // copies are overheard first.
-func (g *Manager) forwardHeartbeat(st *hbState, hb Heartbeat) {
+func (g *Manager) forwardHeartbeat(st *hbState, hb Heartbeat, corr radio.Corr) {
 	if hb.Leader == g.m.ID() {
 		return
 	}
@@ -590,8 +596,9 @@ func (g *Manager) forwardHeartbeat(st *hbState, hb Heartbeat) {
 	pf.dups = 0
 	pf.hb = hb
 	pf.hb.HopsPast = hb.HopsPast - 1
+	pf.corr = corr
 	delay := time.Duration(g.m.Rand().Float64() * float64(g.cfg.FloodJitter))
-	pf.timer = g.m.Scheduler().AfterEventTimer(delay, pendingForwardFire, pf)
+	pf.timer = g.m.Scheduler().AfterEventTimerOwned(delay, simtime.OwnerGroup, pendingForwardFire, pf)
 	st.pf = pf
 }
 
@@ -612,9 +619,9 @@ func pendingForwardFire(arg any) {
 	}
 	label, leader, seq := pf.hb.Label, pf.hb.Leader, pf.hb.Seq
 	bits := g.cfg.HeartbeatBits + len(pf.hb.State)*8
-	fwd := pf.hb
+	fwd, corr := pf.hb, pf.corr
 	g.recyclePF(pf)
-	g.m.Broadcast(trace.KindHeartbeat, bits, fwd)
+	g.m.BroadcastTraced(trace.KindHeartbeat, bits, fwd, corr)
 	g.emit(obs.EvHeartbeatForwarded, label, leader, seq)
 }
 
@@ -630,6 +637,7 @@ func (g *Manager) acquirePF() *pendingForward {
 func (g *Manager) recyclePF(pf *pendingForward) {
 	pf.st = nil
 	pf.hb = Heartbeat{}
+	pf.corr = radio.Corr{}
 	pf.timer = simtime.Timer{}
 	pf.next = g.pfFree
 	g.pfFree = pf
@@ -723,9 +731,17 @@ func (g *Manager) idleOnHeartbeat(hb Heartbeat) {
 	}
 }
 
-func (g *Manager) onReport(rep Report) {
+func (g *Manager) onReport(rep Report, corr radio.Corr) {
 	if g.role != RoleLeader || rep.Label != g.label {
+		// The reading reached a mote that is not (or no longer) the leader
+		// of its label — a handover or step-down raced the report cycle.
+		if corr.Seq != 0 {
+			g.emitCorr(obs.EvRouteDropped, rep.Reporter, rep.Label, corr, "stale_leader")
+		}
 		return
+	}
+	if corr.Seq != 0 {
+		g.emitCorr(obs.EvRouteDelivered, rep.Reporter, rep.Label, corr, "")
 	}
 	g.weight++
 	g.reporters[rep.Reporter] = g.m.Scheduler().Now()
@@ -773,6 +789,27 @@ var labelObsEvents = map[trace.LabelEventType]obs.EventType{
 	trace.LabelRelinquish: obs.EvLabelRelinquish,
 	trace.LabelYield:      obs.EvLabelYield,
 	trace.LabelDeleted:    obs.EvLabelDeleted,
+}
+
+// emitCorr publishes one report-lifecycle event for a member reading,
+// carrying the reading's correlation key so the span assembler can stitch
+// it to the radio frames.
+func (g *Manager) emitCorr(ev obs.EventType, peer radio.NodeID, label Label, corr radio.Corr, cause string) {
+	if bus := g.m.Obs(); bus.Active() {
+		bus.Emit(obs.Event{
+			At:      g.m.Scheduler().Now(),
+			Type:    ev,
+			Mote:    int(g.m.ID()),
+			Peer:    int(peer),
+			CtxType: g.ctxType,
+			Pos:     g.m.Pos(),
+			Kind:    trace.KindReading,
+			Cause:   cause,
+			Label:   string(label),
+			Origin:  int(corr.Origin),
+			Seq:     uint64(corr.Seq),
+		})
+	}
 }
 
 // emit publishes one group-protocol event. peer is the other mote involved

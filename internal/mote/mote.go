@@ -98,6 +98,11 @@ type Mote struct {
 
 	senseTicker *simtime.Ticker
 	started     bool
+
+	// corrSeq numbers correlated messages originated by this mote. All
+	// layers mint from this one counter, so (origin, seq) identifies a
+	// message uniquely within a run regardless of kind or label.
+	corrSeq uint32
 }
 
 // cpuTask is one queued frame awaiting its CPU service-time completion.
@@ -164,6 +169,14 @@ func (m *Mote) Scheduler() *simtime.Scheduler { return m.sched }
 // Rand returns the mote's deterministic random source (for jitter).
 func (m *Mote) Rand() *rand.Rand { return m.rng }
 
+// NextCorrSeq returns a fresh correlation sequence number (1-based) for a
+// message originated by this mote. Relays and rebroadcasts must preserve
+// the original radio.Corr rather than mint a new one.
+func (m *Mote) NextCorrSeq() uint32 {
+	m.corrSeq++
+	return m.corrSeq
+}
+
 // Config returns the mote's resource configuration (defaults applied).
 func (m *Mote) Config() Config { return m.cfg }
 
@@ -202,7 +215,7 @@ func (m *Mote) Start() {
 		return
 	}
 	m.started = true
-	m.senseTicker = simtime.NewTicker(m.sched, m.cfg.SensePeriod, m.scan)
+	m.senseTicker = simtime.NewTickerOwned(m.sched, m.cfg.SensePeriod, simtime.OwnerSense, m.scan)
 }
 
 // StartManaged marks the mote started without arming a sensing ticker; the
@@ -270,15 +283,27 @@ func (m *Mote) Sense() sensor.Reading {
 
 // Send transmits a frame from this mote. Failed motes transmit nothing.
 func (m *Mote) Send(kind trace.Kind, dst radio.NodeID, bits int, payload any) {
+	m.SendTraced(kind, dst, bits, payload, radio.Corr{})
+}
+
+// SendTraced is Send with a causal-correlation header: every frame event
+// the transmission produces carries corr's (origin, seq) key, so span
+// sinks can tie the hop to its logical message.
+func (m *Mote) SendTraced(kind trace.Kind, dst radio.NodeID, bits int, payload any, corr radio.Corr) {
 	if m.hot.failed[m.hotIdx] {
 		return
 	}
-	m.medium.Send(radio.Frame{Kind: kind, Src: m.id, Dst: dst, Bits: bits, Payload: payload})
+	m.medium.Send(radio.Frame{Kind: kind, Src: m.id, Dst: dst, Bits: bits, Payload: payload, Corr: corr})
 }
 
 // Broadcast transmits a frame to every node in range.
 func (m *Mote) Broadcast(kind trace.Kind, bits int, payload any) {
 	m.Send(kind, radio.Broadcast, bits, payload)
+}
+
+// BroadcastTraced is Broadcast with a causal-correlation header.
+func (m *Mote) BroadcastTraced(kind trace.Kind, bits int, payload any, corr radio.Corr) {
+	m.SendTraced(kind, radio.Broadcast, bits, payload, corr)
 }
 
 // scan runs one sensing tick. It samples into the mote's reusable scratch
@@ -312,6 +337,7 @@ func (m *Mote) onFrame(f radio.Frame) {
 			bus.Emit(obs.Event{
 				At: m.sched.Now(), Type: obs.EvCPUOverload, Mote: int(m.id),
 				Peer: int(f.Src), Pos: m.pos, Kind: f.Kind, Bits: f.Bits,
+				Origin: int(f.Corr.Origin), Seq: uint64(f.Corr.Seq), Frame: f.ID,
 			})
 		}
 		return
@@ -326,7 +352,7 @@ func (m *Mote) onFrame(f radio.Frame) {
 	m.busyUntil = done
 	t := m.acquireTask()
 	t.f = f
-	m.sched.AtEvent(done, cpuTaskDone, t)
+	m.sched.AtEventOwned(done, simtime.OwnerMote, cpuTaskDone, t)
 }
 
 // cpuTaskDone completes one frame's CPU service: the record is recycled

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,9 +19,10 @@ import (
 // registration takes a lock. A single registry can be shared by every
 // run of a parallel sweep.
 type Registry struct {
-	mu      sync.Mutex
-	order   []string
-	metrics map[string]metric
+	mu         sync.Mutex
+	order      []string
+	metrics    map[string]metric
+	collectors []func()
 }
 
 // metric is anything the registry can expose.
@@ -33,6 +35,26 @@ type metric interface {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]metric)}
+}
+
+// AddCollector registers a function run at exposition time (WriteProm and
+// Snapshot), letting pull-style sources — Go runtime stats, scheduler
+// self-profiles — refresh their gauges exactly when they are scraped.
+// Collectors run outside the registry lock and may register metrics.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// collect runs the registered collectors (outside the lock).
+func (r *Registry) collect() {
+	r.mu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // register get-or-creates a named metric, enforcing type stability.
@@ -96,6 +118,7 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 // WriteProm renders every metric in Prometheus text exposition format,
 // in registration order.
 func (r *Registry) WriteProm(w io.Writer) error {
+	r.collect()
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	metrics := make([]metric, len(names))
@@ -114,6 +137,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 // Snapshot returns a plain name -> value map (counters and gauges as
 // numbers, histograms and vecs as nested maps) for JSON export and tests.
 func (r *Registry) Snapshot() map[string]any {
+	r.collect()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]any, len(r.metrics))
@@ -145,6 +169,50 @@ func (r *Registry) Expvar(name string) {
 	}))
 }
 
+// promEscapeHelp escapes a HELP string per the Prometheus text exposition
+// format: backslash and line feed only.
+func promEscapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and line feed. (strconv.Quote over-escapes —
+// a tab rendered as \t reads back as a literal 't' under the
+// three-escape grammar.)
+func promEscapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 // --- counter ---
 
 // Counter is a monotonically increasing counter.
@@ -166,7 +234,8 @@ func (c *Counter) helpText() string { return c.help }
 func (c *Counter) snapshot() any    { return c.v.Load() }
 
 func (c *Counter) writeProm(w io.Writer, name, help string) error {
-	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.v.Load())
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+		name, promEscapeHelp(help), name, name, c.v.Load())
 	return err
 }
 
@@ -189,7 +258,7 @@ func (g *Gauge) snapshot() any    { return g.Value() }
 
 func (g *Gauge) writeProm(w io.Writer, name, help string) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-		name, help, name, name, strconv.FormatFloat(g.Value(), 'g', -1, 64))
+		name, promEscapeHelp(help), name, name, strconv.FormatFloat(g.Value(), 'g', -1, 64))
 	return err
 }
 
@@ -252,7 +321,7 @@ func (h *Histogram) snapshot() any {
 }
 
 func (h *Histogram) writeProm(w io.Writer, name, help string) error {
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, promEscapeHelp(help), name); err != nil {
 		return err
 	}
 	var cum uint64
@@ -330,11 +399,11 @@ func (v *CounterVec) writeProm(w io.Writer, name, help string) error {
 	}
 	label := v.label
 	v.mu.Unlock()
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, promEscapeHelp(help), name); err != nil {
 		return err
 	}
 	for i, val := range values {
-		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, val, children[i].Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, label, promEscapeLabel(val), children[i].Value()); err != nil {
 			return err
 		}
 	}

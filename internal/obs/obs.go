@@ -55,6 +55,12 @@ const (
 	// fault injection
 	EvMoteFailed   // mote crashed (chaos schedule or manual Fail)
 	EvMoteRestored // mote revived after a crash
+	// report lifecycle (causal tracing; emitted only for correlated
+	// messages, i.e. those carrying an (origin, seq) header)
+	EvReportSent     // correlated message originated at its source mote
+	EvRouteForward   // routed message relayed one hop toward its destination
+	EvRouteDelivered // routed message terminated at its destination node
+	EvRouteDropped   // routed message discarded (cause: ttl/dead_end)
 )
 
 // eventNames maps types to their stable wire names (used in JSONL export
@@ -86,6 +92,10 @@ var eventNames = [...]string{
 	EvDirectoryQuery:      "directory_query",
 	EvMoteFailed:          "mote_failed",
 	EvMoteRestored:        "mote_restored",
+	EvReportSent:          "report_sent",
+	EvRouteForward:        "route_forward",
+	EvRouteDelivered:      "route_delivered",
+	EvRouteDropped:        "route_dropped",
 }
 
 // String implements fmt.Stringer.
@@ -98,8 +108,8 @@ func (t EventType) String() string {
 
 // EventTypes returns every defined event type in declaration order.
 func EventTypes() []EventType {
-	out := make([]EventType, 0, int(EvMoteRestored))
-	for t := EvHeartbeatSent; t <= EvMoteRestored; t++ {
+	out := make([]EventType, 0, int(EvRouteDropped))
+	for t := EvHeartbeatSent; t <= EvRouteDropped; t++ {
 		out = append(out, t)
 	}
 	return out
@@ -111,6 +121,14 @@ func EventTypes() []EventType {
 // involved (successor, frame destination, past leader), Kind the radio
 // message class, Seq a heartbeat sequence or chain depth, Bits the frame
 // size on the air, and Cause a loss cause or detail string.
+//
+// Correlated messages additionally carry the causal span key the
+// SpanSink and ettrace reassemble lifecycles from: (Label, Origin, Seq)
+// identifies one logical message end to end (the same keying the
+// invariant checker uses for heartbeat dedup), and Frame ties frame-
+// level events (sent/received/lost/overload) to one physical
+// transmission, distinguishing retransmissions and duplicates of the
+// same logical message.
 type Event struct {
 	At      time.Duration
 	Type    EventType
@@ -123,6 +141,14 @@ type Event struct {
 	Seq     uint64
 	Bits    int
 	Cause   string
+	// Origin is the mote that originated the correlated message this
+	// event belongs to. A non-empty Label marks the event as correlated;
+	// Origin and Seq are only meaningful then (mote 0 as an origin
+	// round-trips through the omit-zero JSONL encoding unambiguously
+	// because span keys always include the label).
+	Origin int
+	// Frame is the medium-stamped transmission id (1-based; 0 = none).
+	Frame uint64
 	// Run tags the event with the run it came from (the scenario seed, in
 	// the eval harnesses); stamped by the bus so sinks shared across a
 	// parallel sweep can attribute interleaved events.

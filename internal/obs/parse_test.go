@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/trace"
+)
+
+// TestParseEventRoundTrip: every field the JSONL exporter writes decodes
+// back exactly (timestamps at the exporter's microsecond precision).
+func TestParseEventRoundTrip(t *testing.T) {
+	events := []Event{
+		{
+			At: 1234567 * time.Microsecond, Type: EvFrameReceived,
+			Mote: 8, Peer: 7, Label: "tracker/0.1", CtxType: "tracker",
+			Pos: geom.Point{X: 1.5, Y: -2.25}, Kind: trace.KindReading,
+			Seq: 42, Origin: 7, Frame: 9001, Bits: 192, Cause: "",
+			Run: 3,
+		},
+		{At: 0, Type: EvHeartbeatSent, Mote: 1},                            // sparse fields all zero
+		{At: time.Hour, Type: EvFrameLost, Mote: 2, Cause: "collision"},    // cause only
+		{At: 5 * time.Second, Type: EvRouteDropped, Mote: 4, Cause: "ttl"}, // new taxonomy
+		{At: time.Millisecond, Type: EvReportSent, Mote: 3, Origin: 3, Seq: 1, Label: "L"},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, ev := range events {
+		sink.Emit(ev)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(events) {
+		t.Fatalf("wrote %d lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		got, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		want := events[i]
+		want.At = want.At.Round(time.Microsecond)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("event %d round trip:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestParseEventRejectsGarbage(t *testing.T) {
+	if _, err := ParseEvent([]byte(`{"t":1,"ev":"no_such_event"}`)); err == nil {
+		t.Error("unknown event name not rejected")
+	}
+	if _, err := ParseEvent([]byte(`{"t":1,"ev":`)); err == nil {
+		t.Error("truncated JSON not rejected")
+	}
+}

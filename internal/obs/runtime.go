@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics readings behind the gauges. The
+// histogram-valued metrics are summarized as p99 at scrape time.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RegisterRuntimeGauges adds Go runtime health gauges (goroutine count,
+// live heap bytes, p99 GC pause, p99 scheduler latency) to the registry.
+// The values refresh at scrape time via the registry's collector hook, so
+// a -metrics-out dump or a /metrics scrape reports the simulator process's
+// state at that instant.
+func RegisterRuntimeGauges(reg *Registry) {
+	goroutines := reg.Gauge("go_goroutines",
+		"Number of live goroutines.")
+	heap := reg.Gauge("go_heap_objects_bytes",
+		"Bytes of memory occupied by live heap objects.")
+	gcPause := reg.Gauge("go_gc_pause_p99_seconds",
+		"99th percentile of recent GC stop-the-world pause durations.")
+	schedLat := reg.Gauge("go_sched_latency_p99_seconds",
+		"99th percentile of time goroutines spent runnable before running.")
+
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	reg.AddCollector(func() {
+		metrics.Read(samples)
+		if v := samples[0].Value; v.Kind() == metrics.KindUint64 {
+			goroutines.Set(float64(v.Uint64()))
+		}
+		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+			heap.Set(float64(v.Uint64()))
+		}
+		if v := samples[2].Value; v.Kind() == metrics.KindFloat64Histogram {
+			gcPause.Set(histQuantile(v.Float64Histogram(), 0.99))
+		}
+		if v := samples[3].Value; v.Kind() == metrics.KindFloat64Histogram {
+			schedLat.Set(histQuantile(v.Float64Histogram(), 0.99))
+		}
+	})
+}
+
+// histQuantile estimates a quantile from a runtime/metrics histogram: the
+// upper edge of the bucket containing the q-th observation (the lower edge
+// for the open-ended last bucket). Returns 0 for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets has len(Counts)+1 boundaries; bucket i spans
+			// [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -72,6 +72,14 @@ func appendEventJSON(b []byte, ev Event) []byte {
 		b = append(b, `,"seq":`...)
 		b = strconv.AppendUint(b, ev.Seq, 10)
 	}
+	if ev.Origin != 0 {
+		b = append(b, `,"origin":`...)
+		b = strconv.AppendInt(b, int64(ev.Origin), 10)
+	}
+	if ev.Frame != 0 {
+		b = append(b, `,"frame":`...)
+		b = strconv.AppendUint(b, ev.Frame, 10)
+	}
 	if ev.Bits != 0 {
 		b = append(b, `,"bits":`...)
 		b = strconv.AppendInt(b, int64(ev.Bits), 10)

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"envirotrack/internal/trace"
+)
+
+// span-test shorthand: a correlated event at second t.
+func sev(t float64, typ EventType, mote int) Event {
+	return Event{
+		At: time.Duration(t * float64(time.Second)), Type: typ, Mote: mote,
+		Label: "L1", Origin: 7, Seq: 1, Kind: trace.KindReading,
+	}
+}
+
+func withPeer(ev Event, peer int) Event     { ev.Peer = peer; return ev }
+func withFrame(ev Event, f uint64) Event    { ev.Frame = f; return ev }
+func withCause(ev Event, c string) Event    { ev.Cause = c; return ev }
+func withKind(ev Event, k trace.Kind) Event { ev.Kind = k; return ev }
+
+// oneSpan runs events through a fresh sink and returns the single
+// resulting report span.
+func oneSpan(t *testing.T, events ...Event) ReportSpan {
+	t.Helper()
+	s := NewSpanSink()
+	for _, ev := range events {
+		s.Emit(ev)
+	}
+	got := s.Reports()
+	if len(got) != 1 {
+		t.Fatalf("got %d spans, want 1: %+v", len(got), got)
+	}
+	return got[0]
+}
+
+func TestSpanSinkDeliveredMultiHop(t *testing.T) {
+	sp := oneSpan(t,
+		withPeer(sev(1.0, EvReportSent, 7), 9),
+		withFrame(sev(1.0, EvFrameSent, 7), 100),
+		withFrame(withPeer(sev(1.1, EvFrameReceived, 8), 7), 100),
+		sev(1.1, EvRouteForward, 8),
+		withFrame(sev(1.1, EvFrameSent, 8), 101),
+		withFrame(withPeer(sev(1.2, EvFrameReceived, 9), 8), 101),
+		withPeer(sev(1.2, EvRouteDelivered, 9), 7),
+	)
+	if !sp.Delivered {
+		t.Fatalf("span not delivered: %+v", sp)
+	}
+	if sp.DeliveredTo != 9 || sp.Latency != 200*time.Millisecond {
+		t.Errorf("delivered_to=%d latency=%v, want 9, 200ms", sp.DeliveredTo, sp.Latency)
+	}
+	if sp.Src != 7 || sp.Dst != 9 || sp.Forwards != 1 {
+		t.Errorf("src=%d dst=%d forwards=%d, want 7, 9, 1", sp.Src, sp.Dst, sp.Forwards)
+	}
+	if len(sp.Hops) != 2 {
+		t.Fatalf("hops = %+v, want 2", sp.Hops)
+	}
+	for i, h := range sp.Hops {
+		if h.Outcome != "received" {
+			t.Errorf("hop %d outcome %q, want received", i, h.Outcome)
+		}
+	}
+	if sp.Hops[1].From != 8 || sp.Hops[1].To != 9 {
+		t.Errorf("hop 1 = %+v, want 8 -> 9", sp.Hops[1])
+	}
+}
+
+// TestSpanSinkRootCauses drives one undelivered span per attribution
+// class and checks the resolved root cause.
+func TestSpanSinkRootCauses(t *testing.T) {
+	sent := withPeer(sev(1.0, EvReportSent, 7), 9)
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"explicit ttl drop", []Event{sent, withCause(sev(1.2, EvRouteDropped, 8), "ttl")}, "ttl"},
+		{"dead end is no_route", []Event{sent, withCause(sev(1.2, EvRouteDropped, 8), "dead_end")}, "no_route"},
+		{"stale leader reject", []Event{sent, withCause(sev(1.2, EvRouteDropped, 9), "stale_leader")}, "stale_leader"},
+		{"transport no route", []Event{sent, sev(1.2, EvTransportNoRoute, 7)}, "no_route"},
+		{"cpu overload", []Event{sent,
+			withFrame(sev(1.0, EvFrameSent, 7), 100),
+			withFrame(withPeer(sev(1.1, EvFrameReceived, 8), 7), 100),
+			sev(1.1, EvCPUOverload, 8)}, "cpu_overload"},
+		{"collision on last hop", []Event{sent,
+			withFrame(sev(1.0, EvFrameSent, 7), 100),
+			withCause(withFrame(withPeer(sev(1.1, EvFrameLost, 9), 7), 100), "collision")}, "collision"},
+		{"random loss on last hop", []Event{sent,
+			withFrame(sev(1.0, EvFrameSent, 7), 100),
+			withCause(withFrame(withPeer(sev(1.1, EvFrameLost, 9), 7), 100), "random")}, "random"},
+		{"nobody in range", []Event{sent,
+			withFrame(sev(1.0, EvFrameSent, 7), 100),
+			withFrame(withPeer(sev(1.1, EvFrameUndelivered, 7), 9), 100)}, "no_route"},
+		{"receiver crashed", []Event{sent,
+			{At: 500 * time.Millisecond, Type: EvMoteFailed, Mote: 8, Label: "L1"},
+			withFrame(sev(1.0, EvFrameSent, 7), 100),
+			withFrame(withPeer(sev(1.1, EvFrameReceived, 8), 7), 100)}, "crashed_mote"},
+		{"cut off in flight", []Event{sent,
+			withFrame(sev(1.0, EvFrameSent, 7), 100)}, "in_flight"},
+		{"never reached the air", []Event{sent}, "in_flight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := oneSpan(t, tc.events...)
+			if sp.Delivered {
+				t.Fatalf("span unexpectedly delivered: %+v", sp)
+			}
+			if sp.RootCause != tc.want {
+				t.Errorf("root cause = %q, want %q", sp.RootCause, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpanSinkRestoredMoteIsNotCrashed pins the failure-window logic: a
+// reception after the receiver was restored is live, not crashed.
+func TestSpanSinkRestoredMoteIsNotCrashed(t *testing.T) {
+	sp := oneSpan(t,
+		Event{At: 100 * time.Millisecond, Type: EvMoteFailed, Mote: 8, Label: "L1"},
+		Event{At: 900 * time.Millisecond, Type: EvMoteRestored, Mote: 8},
+		withPeer(sev(1.0, EvReportSent, 7), 9),
+		withFrame(sev(1.0, EvFrameSent, 7), 100),
+		withFrame(withPeer(sev(1.1, EvFrameReceived, 8), 7), 100),
+	)
+	if sp.RootCause != "in_flight" {
+		t.Errorf("root cause = %q, want in_flight (receiver was restored)", sp.RootCause)
+	}
+}
+
+// TestSpanSinkTransportDeliveryRule pins the layer rule: an MTP datagram
+// span is complete only at transport_delivered; a route_delivered merely
+// marks a stop on the past-leader chain.
+func TestSpanSinkTransportDeliveryRule(t *testing.T) {
+	mk := func(extra ...Event) []Event {
+		evs := []Event{
+			withKind(withPeer(sev(1.0, EvReportSent, 7), 9), trace.KindTransport),
+			withKind(withPeer(sev(1.2, EvRouteDelivered, 8), 7), trace.KindTransport),
+		}
+		return append(evs, extra...)
+	}
+	sp := oneSpan(t, mk()...)
+	if sp.Delivered {
+		t.Fatalf("transport span delivered on route_delivered alone: %+v", sp)
+	}
+	if sp.RootCause != "in_flight" {
+		t.Errorf("root cause = %q, want in_flight", sp.RootCause)
+	}
+
+	sp = oneSpan(t, mk(
+		withKind(sev(1.2, EvTransportHop, 8), trace.KindTransport),
+		withKind(sev(1.4, EvTransportDelivered, 9), trace.KindTransport),
+	)...)
+	if !sp.Delivered || sp.DeliveredTo != 9 || sp.ChainHops != 1 {
+		t.Fatalf("transport span = %+v, want delivered to 9 with 1 chain hop", sp)
+	}
+	if sp.Latency != 400*time.Millisecond {
+		t.Errorf("latency = %v, want 400ms", sp.Latency)
+	}
+}
+
+// TestSpanSinkRedundantSendsFold pins that sender-side repeats of one
+// logical message (directory unregister triple-send) stay one span.
+func TestSpanSinkRedundantSendsFold(t *testing.T) {
+	s := NewSpanSink()
+	for i := 0; i < 3; i++ {
+		s.Emit(withPeer(sev(1.0+float64(i), EvReportSent, 7), 9))
+	}
+	s.Emit(withPeer(sev(4.0, EvRouteDelivered, 9), 7))
+	got := s.Reports()
+	if len(got) != 1 {
+		t.Fatalf("got %d spans, want 1", len(got))
+	}
+	if got[0].SentAt != time.Second || !got[0].Delivered {
+		t.Errorf("span = %+v, want sent at 1s and delivered", got[0])
+	}
+	if got[0].Events != 4 {
+		t.Errorf("events folded = %d, want 4", got[0].Events)
+	}
+}
+
+// TestSpanSinkUncorrelatedTrafficIgnored: correlated frames with no
+// opening report_sent (heartbeat floods) must not create spans.
+func TestSpanSinkUncorrelatedTrafficIgnored(t *testing.T) {
+	s := NewSpanSink()
+	s.Emit(withFrame(sev(1.0, EvFrameSent, 7), 100))
+	s.Emit(withFrame(withPeer(sev(1.1, EvFrameReceived, 8), 7), 100))
+	if got := s.Reports(); len(got) != 0 {
+		t.Fatalf("uncorrelated traffic produced %d spans: %+v", len(got), got)
+	}
+}
+
+func TestSpanSinkHandover(t *testing.T) {
+	s := NewSpanSink()
+	hb := func(t float64, mote int) Event { return sev(t, EvHeartbeatSent, mote) }
+	s.Emit(Event{At: 0, Type: EvLabelCreated, Mote: 2, Label: "L1"})
+	s.Emit(hb(1, 2))
+	s.Emit(hb(2, 2))
+	s.Emit(Event{At: 2500 * time.Millisecond, Type: EvMoteFailed, Mote: 2, Label: "L1"})
+	s.Emit(sev(4, EvReceiveTimerFired, 5))
+	s.Emit(sev(4, EvLabelTakeover, 5))
+	s.Emit(hb(5, 5))
+	s.Emit(sev(7, EvLabelTakeover, 6))
+
+	hs := s.Handovers()
+	if len(hs) != 2 {
+		t.Fatalf("got %d handovers, want 2: %+v", len(hs), hs)
+	}
+	h := hs[0]
+	if h.OldLeader != 2 || h.NewLeader != 5 {
+		t.Errorf("handover leaders %d -> %d, want 2 -> 5", h.OldLeader, h.NewLeader)
+	}
+	if h.Gap != 2*time.Second || h.LastOldLeaderAt != 2*time.Second {
+		t.Errorf("gap = %v (last hb %v), want 2s after 2s", h.Gap, h.LastOldLeaderAt)
+	}
+	// The causal chain includes the crash and the timer expiry.
+	var sawCrash, sawTimer bool
+	for _, c := range h.Chain {
+		sawCrash = sawCrash || c.Type == EvMoteFailed
+		sawTimer = sawTimer || c.Type == EvReceiveTimerFired
+	}
+	if !sawCrash || !sawTimer {
+		t.Errorf("chain missing crash/timer evidence: %+v", h.Chain)
+	}
+	// The second takeover sees the first takeover's winner as old leader.
+	if hs[1].OldLeader != 5 || hs[1].NewLeader != 6 {
+		t.Errorf("second handover %d -> %d, want 5 -> 6", hs[1].OldLeader, hs[1].NewLeader)
+	}
+}
+
+// TestSpanSinkSeparatesRuns: identical correlation keys in different
+// runs are distinct spans (the parallel-sweep sharing contract).
+func TestSpanSinkSeparatesRuns(t *testing.T) {
+	s := NewSpanSink()
+	for run := int64(1); run <= 2; run++ {
+		ev := withPeer(sev(1.0, EvReportSent, 7), 9)
+		ev.Run = run
+		s.Emit(ev)
+	}
+	del := withPeer(sev(1.5, EvRouteDelivered, 9), 7)
+	del.Run = 2
+	s.Emit(del)
+	got := s.Reports()
+	if len(got) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got))
+	}
+	if got[0].Run != 1 || got[0].Delivered {
+		t.Errorf("run-1 span = %+v, want undelivered", got[0])
+	}
+	if got[1].Run != 2 || !got[1].Delivered {
+		t.Errorf("run-2 span = %+v, want delivered", got[1])
+	}
+}

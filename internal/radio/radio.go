@@ -42,6 +42,21 @@ const DefaultBitRate = 50_000.0
 // frame) on the air.
 const DefaultFrameBits = 36 * 8
 
+// Corr is the causal-correlation header of a logical message: the mote
+// that originated it and an origin-scoped sequence number. The pair
+// identifies one logical message end to end — across routing hops, CSMA
+// retries, and chaos duplications — and is carried into every obs event
+// the message's frames produce, which is what lets the SpanSink and
+// ettrace reassemble per-report lifecycles. The label a message concerns
+// travels on the span-opening report_sent event, not here: Corr rides in
+// every Frame copied per receiver on broadcast, so it is kept to eight
+// bytes. The zero Corr marks uncorrelated traffic (sequence numbers are
+// 1-based) and costs nothing.
+type Corr struct {
+	Origin int32
+	Seq    uint32
+}
+
 // Frame is one transmission. Payload is an opaque protocol message owned by
 // the upper layers.
 type Frame struct {
@@ -50,6 +65,14 @@ type Frame struct {
 	Dst     NodeID // Broadcast or a specific node
 	Bits    int    // size on the air; DefaultFrameBits if zero
 	Payload any
+	// Corr is the correlation header of the logical message this frame
+	// carries (zero for uncorrelated traffic).
+	Corr Corr
+	// ID is the medium-stamped transmission id, assigned when the frame
+	// actually goes on the air (CSMA-deferred copies are stamped at
+	// retransmission, chaos duplicates get distinct ids). 1-based; 0
+	// means not yet transmitted.
+	ID uint64
 }
 
 // Params configures the medium.
@@ -175,6 +198,12 @@ type Medium struct {
 	airtimeBits [8]int
 	airtimeDur  [8]time.Duration
 	airtimeN    int
+
+	// frameSeq numbers actual transmissions (Frame.ID). Stamped at
+	// transmission commit in trySend — after CSMA deferral — so the
+	// counter advances identically on the batched and per-receiver
+	// delivery paths and ids are deterministic per run.
+	frameSeq uint64
 }
 
 // cellKey addresses one bucket of the spatial hash.
@@ -637,10 +666,16 @@ func (m *Medium) trySend(f Frame, attempt int) {
 			ps := m.acquirePS()
 			ps.f = f
 			ps.attempt = attempt + 1
-			m.sched.AtEvent(busyUntil+backoff, pendingSendFire, ps)
+			m.sched.AtEventOwned(busyUntil+backoff, simtime.OwnerRadio, pendingSendFire, ps)
 			return
 		}
 	}
+
+	// Transmission commit: the frame is definitely going on the air now,
+	// so it gets its transmission id (deferred copies above carry ID 0
+	// until they come back through here).
+	m.frameSeq++
+	f.ID = m.frameSeq
 
 	start := now
 	if src.txBusyUntil > start {
@@ -657,6 +692,7 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		bus.Emit(obs.Event{
 			At: start, Type: obs.EvFrameSent, Mote: int(f.Src), Peer: int(f.Dst),
 			Pos: src.pos, Kind: f.Kind, Bits: f.Bits,
+			Origin: int(f.Corr.Origin), Seq: uint64(f.Corr.Seq), Frame: f.ID,
 		})
 	}
 
@@ -702,13 +738,13 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		// One event delivers the whole batch in id order and then runs the
 		// undelivered check — the same total order the per-receiver events
 		// formed as a contiguous same-timestamp block.
-		m.sched.AtEvent(end+m.params.PropDelay, batchDeliver, batch)
+		m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, batchDeliver, batch)
 		return
 	}
 	// After the last possible delivery, check whether anyone got it. The
 	// deliveries share this timestamp but were scheduled first, so they
 	// fire first and the check observes the final delivered count.
-	m.sched.AtEvent(end+m.params.PropDelay, transmissionDone, tx)
+	m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, transmissionDone, tx)
 }
 
 // batchDeliver resolves every target reception of one frame in ascending
@@ -805,7 +841,7 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, ba
 		batch.rxs = append(batch.rxs, rx)
 		return
 	}
-	m.sched.AtEvent(end+m.params.PropDelay, receptionDone, rx)
+	m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, receptionDone, rx)
 }
 
 // receptionDone resolves one target reception on the per-receiver
@@ -859,6 +895,7 @@ func (m *Medium) emitAtReceiver(t obs.EventType, dst *nodeState, f Frame, cause 
 		bus.Emit(obs.Event{
 			At: m.sched.Now(), Type: t, Mote: int(dst.id), Peer: int(f.Src),
 			Pos: dst.pos, Kind: f.Kind, Bits: f.Bits, Cause: cause,
+			Origin: int(f.Corr.Origin), Seq: uint64(f.Corr.Seq), Frame: f.ID,
 		})
 	}
 }
@@ -869,6 +906,7 @@ func (m *Medium) emitUndelivered(at time.Duration, f Frame, pos geom.Point) {
 		bus.Emit(obs.Event{
 			At: at, Type: obs.EvFrameUndelivered, Mote: int(f.Src), Peer: int(f.Dst),
 			Pos: pos, Kind: f.Kind, Bits: f.Bits,
+			Origin: int(f.Corr.Origin), Seq: uint64(f.Corr.Seq), Frame: f.ID,
 		})
 	}
 }

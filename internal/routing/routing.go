@@ -13,7 +13,9 @@ import (
 
 	"envirotrack/internal/geom"
 	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
 	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
 )
 
@@ -37,6 +39,16 @@ type Message struct {
 	Bits int
 	// Payload is the upper-layer message.
 	Payload any
+	// Corr, when non-zero, correlates every frame and lifecycle event
+	// the message produces under one (origin, seq) span key. The router
+	// emits report_sent / route_forward / route_delivered / route_dropped
+	// events only for correlated messages.
+	Corr radio.Corr
+	// CorrLabel is the label (or context type) the correlated message
+	// concerns, carried on the lifecycle events the router emits. It
+	// lives here rather than in radio.Corr so the per-receiver Frame
+	// copies on the broadcast fan-out path stay string-free.
+	CorrLabel string
 }
 
 // envelope is the on-air representation.
@@ -115,6 +127,12 @@ func (r *Router) Send(msg Message) {
 	if msg.TTL <= 0 {
 		msg.TTL = DefaultTTL
 	}
+	// Origination of a correlated message: the span-opening event. Chain
+	// forwarders (MTP) re-enter Send at intermediate nodes with the same
+	// corr; only the true origin opens the span.
+	if msg.Corr.Seq != 0 && radio.NodeID(msg.Corr.Origin) == r.m.ID() {
+		r.emit(obs.EvReportSent, msg.DestNode, msg, "")
+	}
 	env := envelope{Msg: msg}
 	if r.isDestination(msg) {
 		ld := r.ldFree
@@ -125,7 +143,7 @@ func (r *Router) Send(msg Message) {
 			ld = &localDelivery{r: r}
 		}
 		ld.msg = msg
-		r.m.Scheduler().AfterEvent(0, localDeliveryFire, ld)
+		r.m.Scheduler().AfterEventOwned(0, simtime.OwnerRouting, localDeliveryFire, ld)
 		return
 	}
 	r.forward(env)
@@ -176,6 +194,9 @@ func (r *Router) forward(env envelope) {
 	next, ok := r.nextHop(msg)
 	if !ok {
 		r.Drops++
+		if msg.Corr.Seq != 0 {
+			r.emit(obs.EvRouteDropped, msg.DestNode, msg, "dead_end")
+		}
 		return
 	}
 	r.transmit(next, env)
@@ -188,7 +209,12 @@ func (r *Router) transmit(to radio.NodeID, env envelope) {
 	if kind == "" {
 		kind = trace.KindTransport
 	}
-	r.m.Send(kind, to, env.Msg.Bits, env)
+	if env.Msg.Corr.Seq != 0 && env.Hops > 1 {
+		// Relays after the first transmission; the origination hop is
+		// already marked by report_sent.
+		r.emit(obs.EvRouteForward, to, env.Msg, "")
+	}
+	r.m.SendTraced(kind, to, env.Msg.Bits, env, env.Msg.Corr)
 }
 
 func (r *Router) handleFrame(f radio.Frame) bool {
@@ -203,6 +229,9 @@ func (r *Router) handleFrame(f radio.Frame) bool {
 	}
 	if env.Hops >= msg.TTL {
 		r.Drops++
+		if msg.Corr.Seq != 0 {
+			r.emit(obs.EvRouteDropped, msg.DestNode, msg, "ttl")
+		}
 		return true
 	}
 	r.forward(env)
@@ -210,11 +239,33 @@ func (r *Router) handleFrame(f radio.Frame) bool {
 }
 
 func (r *Router) deliverLocal(msg Message) {
+	if msg.Corr.Seq != 0 {
+		r.emit(obs.EvRouteDelivered, radio.NodeID(msg.Corr.Origin), msg, "")
+	}
 	for _, h := range r.handlers {
 		if h(msg) {
 			return
 		}
 	}
+}
+
+// emit publishes one routed-lifecycle event carrying the message's
+// correlation key. Mote is this node; Peer is the event-specific other
+// party (intended destination, next hop, or origin for deliveries).
+func (r *Router) emit(t obs.EventType, peer radio.NodeID, msg Message, cause string) {
+	bus := r.m.Obs()
+	if !bus.Active() {
+		return
+	}
+	kind := msg.Kind
+	if kind == "" {
+		kind = trace.KindTransport
+	}
+	bus.Emit(obs.Event{
+		At: r.m.Scheduler().Now(), Type: t, Mote: int(r.m.ID()), Peer: int(peer),
+		Pos: r.m.Pos(), Kind: kind, Cause: cause,
+		Label: msg.CorrLabel, Origin: int(msg.Corr.Origin), Seq: uint64(msg.Corr.Seq),
+	})
 }
 
 // RouteDelay estimates the time for a message to traverse the distance

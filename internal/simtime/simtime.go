@@ -38,6 +38,7 @@
 package simtime
 
 import (
+	"context"
 	"errors"
 	"time"
 )
@@ -126,6 +127,7 @@ type event struct {
 type slotState struct {
 	gen      uint32
 	pending  bool
+	owner    Owner // scheduling subsystem, for the self-profiler
 	nextFree int32
 	fn       Callback
 	pfn      EventFunc
@@ -146,6 +148,11 @@ type Scheduler struct {
 	// executed counts events that have fired; useful for sanity checks and
 	// run-length accounting in tests.
 	executed uint64
+	// prof, when non-nil, receives per-owner event counts and callback
+	// wall time (see profile.go). labelCtxs holds the prebuilt pprof
+	// label contexts, one per owner.
+	prof      *Profile
+	labelCtxs *[NumOwners]context.Context
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -207,27 +214,50 @@ func (s *Scheduler) push(ev event) {
 	s.live++
 }
 
-// At schedules fn to run at absolute virtual time at. Times in the past are
-// clamped to "now" (the event fires on the next step). Events scheduled for
-// the same instant fire in scheduling order.
-func (s *Scheduler) At(at time.Duration, fn Callback) Timer {
+// schedule is the single scheduling core behind every At/After variant:
+// clamp the deadline, draw a sequence number, fill a pooled slot (owner
+// tag, callback or typed handler + payload), and push the heap entry. It
+// returns what a Timer handle needs; handle-less callers discard it.
+func (s *Scheduler) schedule(at time.Duration, owner Owner, fn Callback, pfn EventFunc, arg any) (int32, uint32, time.Duration) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
 	idx, gen := s.acquireSlot()
-	s.slots[idx].fn = fn
+	sl := &s.slots[idx]
+	sl.owner = owner
+	sl.fn = fn
+	sl.pfn = pfn
+	sl.arg = arg
 	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
+	return idx, gen, at
+}
+
+// At schedules fn to run at absolute virtual time at. Times in the past are
+// clamped to "now" (the event fires on the next step). Events scheduled for
+// the same instant fire in scheduling order.
+func (s *Scheduler) At(at time.Duration, fn Callback) Timer {
+	return s.AtOwned(at, OwnerNone, fn)
+}
+
+// AtOwned is At with a subsystem owner tag for the self-profiler.
+func (s *Scheduler) AtOwned(at time.Duration, owner Owner, fn Callback) Timer {
+	idx, gen, at := s.schedule(at, owner, fn, nil, nil)
 	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // durations are treated as zero.
 func (s *Scheduler) After(d time.Duration, fn Callback) Timer {
+	return s.AfterOwned(d, OwnerNone, fn)
+}
+
+// AfterOwned is After with a subsystem owner tag for the self-profiler.
+func (s *Scheduler) AfterOwned(d time.Duration, owner Owner, fn Callback) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.AtOwned(s.now+d, owner, fn)
 }
 
 // AtEvent schedules a typed-payload event with no cancellation handle: fn
@@ -236,48 +266,52 @@ func (s *Scheduler) After(d time.Duration, fn Callback) Timer {
 // and mote hot paths use it for delivery batches, CPU completions, and
 // CSMA retries — none of which are ever cancelled.
 func (s *Scheduler) AtEvent(at time.Duration, fn EventFunc, arg any) {
-	if at < s.now {
-		at = s.now
-	}
-	s.seq++
-	idx, gen := s.acquireSlot()
-	sl := &s.slots[idx]
-	sl.pfn = fn
-	sl.arg = arg
-	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
+	s.schedule(at, OwnerNone, nil, fn, arg)
+}
+
+// AtEventOwned is AtEvent with a subsystem owner tag for the self-profiler.
+func (s *Scheduler) AtEventOwned(at time.Duration, owner Owner, fn EventFunc, arg any) {
+	s.schedule(at, owner, nil, fn, arg)
 }
 
 // AfterEvent is AtEvent relative to the current time. Negative durations
 // are treated as zero.
 func (s *Scheduler) AfterEvent(d time.Duration, fn EventFunc, arg any) {
+	s.AfterEventOwned(d, OwnerNone, fn, arg)
+}
+
+// AfterEventOwned is AfterEvent with a subsystem owner tag.
+func (s *Scheduler) AfterEventOwned(d time.Duration, owner Owner, fn EventFunc, arg any) {
 	if d < 0 {
 		d = 0
 	}
-	s.AtEvent(s.now+d, fn, arg)
+	s.schedule(s.now+d, owner, nil, fn, arg)
 }
 
 // AtEventTimer is AtEvent with a cancellation handle, for hot-path timers
 // that need Stop (e.g. the group protocol's pending heartbeat rebroadcast).
 func (s *Scheduler) AtEventTimer(at time.Duration, fn EventFunc, arg any) Timer {
-	if at < s.now {
-		at = s.now
-	}
-	s.seq++
-	idx, gen := s.acquireSlot()
-	sl := &s.slots[idx]
-	sl.pfn = fn
-	sl.arg = arg
-	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
+	return s.AtEventTimerOwned(at, OwnerNone, fn, arg)
+}
+
+// AtEventTimerOwned is AtEventTimer with a subsystem owner tag.
+func (s *Scheduler) AtEventTimerOwned(at time.Duration, owner Owner, fn EventFunc, arg any) Timer {
+	idx, gen, at := s.schedule(at, owner, nil, fn, arg)
 	return Timer{s: s, at: at, slot: idx + 1, gen: gen}
 }
 
 // AfterEventTimer is AtEventTimer relative to the current time. Negative
 // durations are treated as zero.
 func (s *Scheduler) AfterEventTimer(d time.Duration, fn EventFunc, arg any) Timer {
+	return s.AfterEventTimerOwned(d, OwnerNone, fn, arg)
+}
+
+// AfterEventTimerOwned is AfterEventTimer with a subsystem owner tag.
+func (s *Scheduler) AfterEventTimerOwned(d time.Duration, owner Owner, fn EventFunc, arg any) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.AtEventTimer(s.now+d, fn, arg)
+	return s.AtEventTimerOwned(s.now+d, owner, fn, arg)
 }
 
 // drainTop discards tombstones at the heap top and reports whether a live
@@ -319,12 +353,14 @@ func (s *Scheduler) Step() bool {
 	}
 	ev := s.popTop()
 	sl := &s.slots[ev.slot]
-	fn, pfn, arg := sl.fn, sl.pfn, sl.arg
+	fn, pfn, arg, owner := sl.fn, sl.pfn, sl.arg, sl.owner
 	s.releaseSlot(ev.slot)
 	s.live--
 	s.now = ev.at
 	s.executed++
-	if fn != nil {
+	if s.prof != nil {
+		s.runProfiled(owner, fn, pfn, arg)
+	} else if fn != nil {
 		fn()
 	} else if pfn != nil {
 		pfn(arg)
@@ -461,6 +497,7 @@ func (s *Scheduler) siftDown(i int) {
 type Ticker struct {
 	s      *Scheduler
 	period time.Duration
+	owner  Owner
 	fn     Callback
 	fire   Callback
 	timer  Timer
@@ -470,10 +507,16 @@ type Ticker struct {
 // NewTicker schedules fn every period, with the first invocation one period
 // from now. A non-positive period is rejected with a nil Ticker.
 func NewTicker(s *Scheduler, period time.Duration, fn Callback) *Ticker {
+	return NewTickerOwned(s, period, OwnerNone, fn)
+}
+
+// NewTickerOwned is NewTicker with a subsystem owner tag: every tick is
+// attributed to owner by the self-profiler.
+func NewTickerOwned(s *Scheduler, period time.Duration, owner Owner, fn Callback) *Ticker {
 	if period <= 0 {
 		return nil
 	}
-	t := &Ticker{s: s, period: period, fn: fn}
+	t := &Ticker{s: s, period: period, owner: owner, fn: fn}
 	t.fire = func() {
 		if t.done {
 			return
@@ -488,7 +531,7 @@ func NewTicker(s *Scheduler, period time.Duration, fn Callback) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.s.After(t.period, t.fire)
+	t.timer = t.s.AfterOwned(t.period, t.owner, t.fire)
 }
 
 // Stop cancels future invocations. It is idempotent.

@@ -39,6 +39,10 @@ type Datagram struct {
 	Payload   any
 	// Chain counts forwarding steps along past leaders.
 	Chain int
+	// Corr is the datagram's causal-correlation header, minted once at the
+	// originating endpoint and preserved verbatim across chain forwards, so
+	// every frame and transport event of one datagram shares a span key.
+	Corr radio.Corr
 }
 
 // Config parameterizes an endpoint.
@@ -147,6 +151,9 @@ func (e *Endpoint) Table() *LeaderTable {
 func (e *Endpoint) Send(d Datagram) {
 	d.SrcLeader = e.m.ID()
 	d.SrcLoc = e.m.Pos()
+	if d.Corr.Seq == 0 {
+		d.Corr = radio.Corr{Origin: int32(e.m.ID()), Seq: e.m.NextCorrSeq()}
+	}
 	if info, ok := e.table.Get(d.DstLabel); ok {
 		e.routeTo(info, d)
 		return
@@ -173,11 +180,13 @@ func (e *Endpoint) Send(d Datagram) {
 
 func (e *Endpoint) routeTo(info LeaderInfo, d Datagram) {
 	e.router.Send(routing.Message{
-		Kind:     trace.KindTransport,
-		Dest:     info.Loc,
-		DestNode: info.Leader,
-		Bits:     e.cfg.MessageBits,
-		Payload:  d,
+		Kind:      trace.KindTransport,
+		Dest:      info.Loc,
+		DestNode:  info.Leader,
+		Bits:      e.cfg.MessageBits,
+		Payload:   d,
+		Corr:      d.Corr,
+		CorrLabel: string(d.DstLabel),
 	})
 }
 
@@ -226,9 +235,11 @@ func (e *Endpoint) handleRouted(msg routing.Message) bool {
 	return true
 }
 
-// emit publishes one transport event: Label is the destination label, Seq
-// the forward-chain depth, and peer the other node involved (the source
-// leader for delivery/drop, the next-hop leader for a chain hop).
+// emit publishes one transport event: Label/Origin/Seq carry the
+// datagram's correlation key (chain depth is recoverable as the number of
+// preceding transport_hop events in the span) and peer is the other node
+// involved (the source leader for delivery/drop, the next-hop leader for a
+// chain hop).
 func (e *Endpoint) emit(ev obs.EventType, d Datagram, peer int, cause string) {
 	if bus := e.m.Obs(); bus.Active() {
 		bus.Emit(obs.Event{
@@ -240,7 +251,8 @@ func (e *Endpoint) emit(ev obs.EventType, d Datagram, peer int, cause string) {
 			CtxType: labelType(d.DstLabel),
 			Pos:     e.m.Pos(),
 			Kind:    trace.KindTransport,
-			Seq:     uint64(d.Chain),
+			Seq:     uint64(d.Corr.Seq),
+			Origin:  int(d.Corr.Origin),
 			Cause:   cause,
 		})
 	}

@@ -38,6 +38,7 @@ type networkConfig struct {
 	modelFn     ModelFunc
 	directory   bool
 	bus         *obs.Bus
+	selfProfile *simtime.Profile
 }
 
 // Option configures New.
@@ -147,6 +148,16 @@ func WithEventBus(bus *EventBus) Option {
 	return optionFunc(func(c *networkConfig) { c.bus = bus })
 }
 
+// WithSelfProfile attaches a scheduler self-profile: every simulation
+// event is timed and attributed to its owning subsystem (radio, group,
+// routing, ...), and callbacks run under pprof labels so CPU profiles
+// break down the same way. Profiling adds wall-clock measurement around
+// each event but never feeds wall time into the simulation, so traces
+// and results are unchanged.
+func WithSelfProfile(p *SelfProfile) Option {
+	return optionFunc(func(c *networkConfig) { c.selfProfile = p })
+}
+
 // Network is a simulated EnviroTrack deployment: a radio medium, a field
 // of targets, and a set of motes running the middleware stack. It is
 // driven by a virtual clock; use Run/RunSession to advance it. A Network
@@ -198,6 +209,9 @@ func New(opts ...Option) (*Network, error) {
 	}
 
 	sched := simtime.NewScheduler()
+	if cfg.selfProfile != nil {
+		sched.SetProfile(cfg.selfProfile)
+	}
 	var stats trace.Stats
 	rng := rand.New(rand.NewSource(cfg.seed))
 	medium := radio.New(sched, radio.Params{
@@ -367,7 +381,7 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 	}, extra...)
 	sampler := obs.NewSampler(probes...)
 	sampler.Sample(n.sched.Now())
-	simtime.NewTicker(n.sched, every, func() {
+	simtime.NewTickerOwned(n.sched, every, simtime.OwnerSeries, func() {
 		sampler.Sample(n.sched.Now())
 	})
 	return sampler.Series()
@@ -432,7 +446,7 @@ func (n *Network) start() {
 		}
 	}
 	if len(sweep) > 0 {
-		simtime.NewTicker(n.sched, period, func() {
+		simtime.NewTickerOwned(n.sched, period, simtime.OwnerSense, func() {
 			for _, m := range sweep {
 				m.ScanOnce()
 			}
@@ -452,7 +466,7 @@ func (n *Network) AddCrossTraffic(src, dst NodeID, period time.Duration, bits in
 	if !ok {
 		return fmt.Errorf("envirotrack: unknown cross-traffic source %d", src)
 	}
-	simtime.NewTicker(n.sched, period, func() {
+	simtime.NewTickerOwned(n.sched, period, simtime.OwnerApp, func() {
 		if node.mote.Failed() {
 			return
 		}
