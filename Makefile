@@ -40,7 +40,10 @@ vet:
 # BENCH_5.json adds causal span correlation plus the machine-calibration
 # benchmark (recorded on a ~20% slower host than BENCH_4; interleaved
 # same-host A/B showed parity, and from this snapshot on benchcmp
-# normalizes that shift away).
+# normalizes that shift away), BENCH_6.json adds the sharded 10k tiers
+# (LargeField/10k-shards{2,4}: the deterministic shard merge keeps
+# per-shard heaps small, a modest single-threaded win; serial paths
+# unchanged within noise).
 BENCH_STEADY = ^(BenchmarkSchedulerStep|BenchmarkSchedulerChurn|BenchmarkBroadcastFanout|BenchmarkAppendNodesNear)$$
 
 bench:

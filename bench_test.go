@@ -280,14 +280,18 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 // by simStep of virtual time per iteration. Construction and a one-second
 // settling run (group formation, pool warm-up) happen outside the timer,
 // so ns/op and allocs/op measure steady-state tracking only.
-func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duration) {
+func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duration, shards int) {
 	b.Helper()
-	n, err := envirotrack.New(
+	opts := []envirotrack.Option{
 		envirotrack.WithGrid(cols, rows),
 		envirotrack.WithCommRadius(2.5),
 		envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
 		envirotrack.WithSeed(1),
-	)
+	}
+	if shards > 1 {
+		opts = append(opts, envirotrack.WithShards(shards))
+	}
+	n, err := envirotrack.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -331,10 +335,19 @@ func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duratio
 // run under -race in CI.
 func BenchmarkLargeField(b *testing.B) {
 	b.Run("10k", func(b *testing.B) {
-		benchLargeField(b, 100, 100, 4, 2*time.Second)
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 1)
+	})
+	// Sharded variants of the same field: identical results and traces
+	// (the differential battery pins that), with the event population
+	// split across per-shard heaps merged deterministically.
+	b.Run("10k-shards2", func(b *testing.B) {
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 2)
+	})
+	b.Run("10k-shards4", func(b *testing.B) {
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 4)
 	})
 	b.Run("smoke", func(b *testing.B) {
-		benchLargeField(b, 30, 30, 2, time.Second)
+		benchLargeField(b, 30, 30, 2, time.Second, 1)
 	})
 }
 

@@ -64,6 +64,7 @@ type config struct {
 	chaosSpec   string
 	checkInv    bool
 	selfProfile bool
+	shards      int
 	stdout      io.Writer
 	stderr      io.Writer
 }
@@ -84,6 +85,7 @@ func main() {
 	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault schedule for the Figure 3 run, e.g. \"crash:node=5,at=300s,for=60s;loss:at=100s,for=60s,p=0.5\"")
 	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
 	flag.BoolVar(&cfg.selfProfile, "selfprofile", false, "profile the scheduler: per-subsystem event counts and wall time, printed after the run (and exported with -metrics-out)")
+	flag.IntVar(&cfg.shards, "shards", 1, "scheduler shards per run: split each run's event engine into N spatial regions merged deterministically; results and traces are identical at any setting")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -210,6 +212,7 @@ func run(cfg config) error {
 		prof = envirotrack.NewSelfProfile()
 		eval.SetSelfProfile(prof)
 	}
+	eval.SetShards(cfg.shards)
 
 	chaosSched, err := envirotrack.ParseChaosSchedule(cfg.chaosSpec)
 	if err != nil {
@@ -390,6 +393,24 @@ func printSelfProfile(w io.Writer, prof *envirotrack.SelfProfile) {
 		fmt.Fprintf(w, "%-10s %12d %12v %6.1f%% %10.0f\n",
 			st.Name, st.Events, time.Duration(st.WallNanos).Round(time.Microsecond),
 			pct, float64(st.WallNanos)/float64(st.Events))
+	}
+	// Sharded runs (-shards N) add a second attribution dimension: which
+	// scheduler shard executed each event.
+	shards := prof.ShardSnapshot()
+	if len(shards) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s %12s %12s %7s\n", "shard", "events", "wall", "%wall")
+	for _, st := range shards {
+		if st.Events == 0 {
+			continue
+		}
+		pct := 0.0
+		if totalNanos > 0 {
+			pct = 100 * float64(st.WallNanos) / float64(totalNanos)
+		}
+		fmt.Fprintf(w, "%-10d %12d %12v %6.1f%%\n",
+			st.Shard, st.Events, time.Duration(st.WallNanos).Round(time.Microsecond), pct)
 	}
 }
 

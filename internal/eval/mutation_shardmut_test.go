@@ -1,0 +1,65 @@
+//go:build shardmut
+
+package eval
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"envirotrack"
+)
+
+const shardMutated = true
+
+// TestShardMutationTripsDifferentialBattery is the sharding battery's
+// self-test: built with -tags shardmut, cross-shard radio deliveries
+// land one nanosecond early (shardMutSkew in internal/radio), violating
+// the conservative-lookahead bound. The differential suite must see the
+// sharded trace diverge from serial — if shaving the lookahead by a
+// single tick is invisible to it, the byte-identity battery is vacuous.
+func TestShardMutationTripsDifferentialBattery(t *testing.T) {
+	sc := Scenario{Seed: 7}
+	serialRes, serialTrace := collectShardedRun(t, sc, 1)
+	shardedRes, shardedTrace := collectShardedRun(t, sc, 4)
+	if len(serialTrace) == 0 || len(shardedTrace) == 0 {
+		t.Fatal("mutation runs emitted no events")
+	}
+	if bytes.Equal(shardedTrace, serialTrace) {
+		t.Error("mutated sharded trace is byte-identical to serial: the differential battery cannot detect a one-tick lookahead violation")
+	}
+	_ = serialRes
+	_ = shardedRes
+}
+
+// TestShardMutationTripsLookaheadCounter proves the medium's invariant
+// counter sees the same seeded bug: boundary frames delivered under the
+// skew land closer to the sending shard's horizon than one packet time,
+// so LookaheadViolations must go positive on a sharded run with
+// cross-boundary traffic (and the sharded run must report boundary
+// frames at all, or the check is vacuous).
+func TestShardMutationTripsLookaheadCounter(t *testing.T) {
+	net, err := envirotrack.New(
+		envirotrack.WithGrid(10, 10),
+		envirotrack.WithSeed(3),
+		envirotrack.WithShards(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Motes 44 (4,4) and 45 (5,4) straddle the 2x2 shard split of the
+	// 10x10 field, one hop apart: every frame between them is boundary
+	// traffic.
+	if err := net.AddCrossTraffic(44, 45, 100*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bf := net.BoundaryFrames(); bf == 0 {
+		t.Fatal("no boundary frames crossed shards; the violation check is vacuous")
+	}
+	if v := net.LookaheadViolations(); v == 0 {
+		t.Error("skewed build produced no lookahead violations: the counter cannot detect its target bug")
+	}
+}

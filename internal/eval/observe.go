@@ -23,6 +23,17 @@ var obsCfg struct {
 	runs        *obs.Counter // optional runs-completed counter
 	perReceiver bool
 	selfProfile *envirotrack.SelfProfile
+	shards      int
+}
+
+// SetShards makes every subsequent Run execute on a spatially sharded
+// event engine with n scheduler shards (see envirotrack.WithShards);
+// n < 2 restores the serial engine. Results and traces are byte-identical
+// either way — the shard differential battery flips this to prove it.
+func SetShards(n int) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.shards = n
 }
 
 // SetPerReceiverDelivery makes every subsequent Run use the radio medium's
@@ -104,10 +115,14 @@ func observeRun(sc Scenario, checker *envirotrack.InvariantChecker) (opts []envi
 	obsCfg.mu.Lock()
 	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
 	perReceiver, selfProfile := obsCfg.perReceiver, obsCfg.selfProfile
+	shards := obsCfg.shards
 	obsCfg.mu.Unlock()
 
 	if perReceiver {
 		opts = append(opts, envirotrack.WithPerReceiverDelivery())
+	}
+	if shards > 1 {
+		opts = append(opts, envirotrack.WithShards(shards))
 	}
 	if selfProfile != nil {
 		opts = append(opts, envirotrack.WithSelfProfile(selfProfile))

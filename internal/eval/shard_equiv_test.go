@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"envirotrack"
+	"envirotrack/internal/obs"
+)
+
+// collectShardedRun executes one scenario on a sharded event engine
+// (shards < 2 = the serial engine) and returns its result plus the
+// byte-exact JSONL event stream.
+func collectShardedRun(t *testing.T, sc Scenario, shards int) (RunResult, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	SetEventSink(sink)
+	SetShards(shards)
+	defer func() {
+		SetEventSink(nil)
+		SetShards(1)
+	}()
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// shardEquivCases are the differential battery's scenarios: nominal,
+// lossy, and a run under the full chaos schedule (crash + loss burst +
+// partition + duplication) with the invariant checker attached.
+func shardEquivCases(t *testing.T) []struct {
+	name string
+	sc   Scenario
+} {
+	t.Helper()
+	sched, err := envirotrack.ParseChaosSchedule(
+		"crash:node=5,at=20s,for=5s;loss:at=10s,for=10s,p=0.4;partition:x=5,at=25s,for=5s;dup:at=30s,for=5s,p=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"nominal", Scenario{Seed: 7}},
+		{"lossy", Scenario{Seed: 11, LossProb: 0.2}},
+	}
+	chaotic := chaosBase(13)
+	chaotic.Chaos = sched
+	chaotic.CheckInvariants = true
+	cases = append(cases, struct {
+		name string
+		sc   Scenario
+	}{"chaos", chaotic})
+	return cases
+}
+
+// TestShardedRunMatchesSerial is the sharding differential battery: for
+// the same seed, a run executed on 2, 4, and 8 scheduler shards must
+// produce a result deeply equal to the serial engine's and a JSONL trace
+// byte-identical to it — across nominal, lossy, and chaos scenarios.
+// This is the determinism contract of the deterministic shard merge: the
+// partition of the event heap is invisible to everything above it.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	if shardMutated {
+		t.Skip("shardmut build diverges by design; see TestShardMutationTripsDifferentialBattery")
+	}
+	for _, tc := range shardEquivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, serialTrace := collectShardedRun(t, tc.sc, 1)
+			if len(serialTrace) == 0 {
+				t.Fatal("serial run emitted no events")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				shardedRes, shardedTrace := collectShardedRun(t, tc.sc, shards)
+				if !reflect.DeepEqual(shardedRes, serialRes) {
+					t.Errorf("shards=%d: results diverge:\nsharded = %+v\nserial  = %+v", shards, shardedRes, serialRes)
+				}
+				if !bytes.Equal(shardedTrace, serialTrace) {
+					t.Errorf("shards=%d: JSONL traces diverge (%d vs %d bytes)", shards, len(shardedTrace), len(serialTrace))
+				}
+				if len(shardedRes.Violations) != 0 {
+					t.Errorf("shards=%d: sharded run violated invariants: %+v", shards, shardedRes.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChaosSuiteMatchesSerial repeats the differential check over
+// the full 9-case chaos suite under the parallel sweep runner: every
+// case's points and per-run JSONL streams must match the serial engine
+// exactly, proving sharding composes with both the chaos faults and the
+// sweep-level parallelism (each worker drives its own shard group).
+func TestShardedChaosSuiteMatchesSerial(t *testing.T) {
+	if shardMutated {
+		t.Skip("shardmut build diverges by design; see TestShardMutationTripsDifferentialBattery")
+	}
+	if testing.Short() {
+		t.Skip("chaos suite x2 is slow")
+	}
+	collect := func(shards int) ([]ChaosPoint, map[string][]string) {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		SetEventSink(sink)
+		SetShards(shards)
+		defer func() {
+			SetEventSink(nil)
+			SetShards(1)
+		}()
+		var points []ChaosPoint
+		withParallelism(t, 4, func() {
+			var err error
+			if points, err = RunChaosSuite(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return points, bucketByRun(buf.String())
+	}
+	serialPoints, serialTraces := collect(1)
+	if len(serialTraces) == 0 {
+		t.Fatal("serial suite produced no traced runs")
+	}
+	shardedPoints, shardedTraces := collect(4)
+	if !reflect.DeepEqual(shardedPoints, serialPoints) {
+		t.Errorf("chaos suite points diverge:\nsharded = %+v\nserial  = %+v", shardedPoints, serialPoints)
+	}
+	if !reflect.DeepEqual(shardedTraces, serialTraces) {
+		t.Errorf("per-run JSONL streams diverge between sharded and serial suites (%d vs %d runs)",
+			len(shardedTraces), len(serialTraces))
+	}
+	for _, p := range shardedPoints {
+		for _, v := range p.Violations {
+			t.Errorf("sharded case %q seed %d: %s violation at %v: %s", p.Case, p.Seed, v.Invariant, v.At, v.Detail)
+		}
+	}
+}

@@ -24,6 +24,11 @@ type HotState struct {
 	queued  []int32
 	member  []uint32
 	sensing []uint32
+	// shard is the scheduler shard owning each mote's region under sharded
+	// execution (all zero in serial runs). The hot state stays one
+	// id-indexed arena — shards own motes, not slices — so cross-shard
+	// readers like the sweep and the series probes need no indirection.
+	shard []int32
 
 	ctxBits  map[string]uint32 // context type -> single-bit mask
 	overflow bool
@@ -42,7 +47,27 @@ func (h *HotState) Register(pos geom.Point) int {
 	h.queued = append(h.queued, 0)
 	h.member = append(h.member, 0)
 	h.sensing = append(h.sensing, 0)
+	h.shard = append(h.shard, 0)
 	return idx
+}
+
+// SetShard records the scheduler shard owning the mote at index i.
+func (h *HotState) SetShard(i int, shard int32) { h.shard[i] = shard }
+
+// Shard returns the scheduler shard owning the mote at index i (0 in
+// serial runs).
+func (h *HotState) Shard(i int) int32 { return h.shard[i] }
+
+// ShardPopulation counts registered motes per shard over k shards (motes
+// whose shard is out of range are ignored).
+func (h *HotState) ShardPopulation(k int) []int {
+	out := make([]int, k)
+	for _, s := range h.shard {
+		if int(s) < k {
+			out[s]++
+		}
+	}
+	return out
 }
 
 // Len returns the number of registered motes.

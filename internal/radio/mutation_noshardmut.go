@@ -1,0 +1,14 @@
+//go:build !shardmut
+
+package radio
+
+// shardMutSkew is the deliberate fault the shardmut mutation build
+// injects into cross-shard delivery scheduling: it shaves the delivery
+// time of boundary receptions by one tick, violating the conservative
+// lookahead bound (a frame arriving before it has finished its packet
+// time) and reordering deliveries relative to the serial trace. In
+// normal builds it is zero, the compiler folds the additions away, and
+// sharded runs are byte-identical to serial — the differential battery
+// in internal/eval pins that. Build with -tags shardmut to verify the
+// battery actually notices the violation.
+const shardMutSkew = 0

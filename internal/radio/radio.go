@@ -204,6 +204,33 @@ type Medium struct {
 	// counter advances identically on the batched and per-receiver
 	// delivery paths and ids are deterministic per run.
 	frameSeq uint64
+
+	// Spatial sharding (SetSharding). shardScheds routes each frame's
+	// medium events — CSMA retries, delivery batches, receptions, tx-done
+	// checks — onto the scheduler shard owning the sending node's region;
+	// shardOfPos maps a position to its shard. shardMail is the k x k
+	// per-pair mailbox accounting of boundary frames (target receptions
+	// whose sender and receiver live in different shards), and
+	// lookaheadViolations counts deliveries scheduled closer to the
+	// sender's committed horizon than one packet time (airtime +
+	// propagation) — the conservative-lookahead invariant; always zero
+	// outside the shardmut mutation build.
+	shardScheds         []*simtime.Scheduler
+	shardOfPos          func(geom.Point) int32
+	shardMail           []ShardMailbox
+	lookaheadViolations uint64
+}
+
+// ShardMailbox accounts one ordered shard pair's boundary traffic.
+type ShardMailbox struct {
+	// Frames counts target receptions sent from the pair's first shard
+	// to a receiver owned by its second.
+	Frames uint64
+	// MinSlack is the smallest (delivery time - transmission commit time)
+	// over those receptions: the margin by which the earliest boundary
+	// delivery cleared the sending shard's committed horizon. Meaningless
+	// while Frames is 0.
+	MinSlack time.Duration
 }
 
 // cellKey addresses one bucket of the spatial hash.
@@ -219,6 +246,9 @@ type nodeState struct {
 	id   NodeID
 	pos  geom.Point
 	recv Receiver
+	// shard is the scheduler shard owning this node's region (0 when the
+	// medium is unsharded); resolved once at registration.
+	shard int32
 	// txBusyUntil serializes a node's own transmissions: a mote has one
 	// radio and cannot transmit two frames at once.
 	txBusyUntil time.Duration
@@ -306,6 +336,93 @@ func (m *Medium) Params() Params {
 // events through. A nil bus disables emission.
 func (m *Medium) SetObserver(bus *obs.Bus) { m.bus = bus }
 
+// SetSharding attaches the medium to a spatially sharded scheduler: each
+// frame's medium events are scheduled on the shard owning the sending
+// node's region (shardOfPos resolves a position's shard, and scheds lists
+// the shard schedulers in shard order). Target receptions whose receiver
+// lives in a different shard than the sender are classified as boundary
+// traffic and accounted in per-pair mailboxes, with their delivery slack
+// checked against the conservative lookahead of one packet time. Nodes
+// already registered are re-resolved. Passing nil scheds detaches
+// sharding.
+func (m *Medium) SetSharding(scheds []*simtime.Scheduler, shardOfPos func(geom.Point) int32) {
+	if len(scheds) == 0 {
+		m.shardScheds, m.shardOfPos, m.shardMail = nil, nil, nil
+		m.lookaheadViolations = 0
+		for _, n := range m.nodes {
+			n.shard = 0
+		}
+		return
+	}
+	m.shardScheds = scheds
+	m.shardOfPos = shardOfPos
+	m.shardMail = make([]ShardMailbox, len(scheds)*len(scheds))
+	m.lookaheadViolations = 0
+	for _, n := range m.nodes {
+		n.shard = shardOfPos(n.pos)
+	}
+}
+
+// ShardCount returns the number of scheduler shards the medium routes to
+// (1 when unsharded).
+func (m *Medium) ShardCount() int {
+	if len(m.shardScheds) == 0 {
+		return 1
+	}
+	return len(m.shardScheds)
+}
+
+// NodeShard returns the shard owning a node's region (0 when unsharded
+// or unknown).
+func (m *Medium) NodeShard(id NodeID) int32 {
+	if n, ok := m.nodes[id]; ok {
+		return n.shard
+	}
+	return 0
+}
+
+// ShardMailboxStat returns the boundary-traffic accounting for the
+// ordered shard pair (from, to).
+func (m *Medium) ShardMailboxStat(from, to int) ShardMailbox {
+	k := len(m.shardScheds)
+	if k == 0 || from < 0 || to < 0 || from >= k || to >= k {
+		return ShardMailbox{}
+	}
+	return m.shardMail[from*k+to]
+}
+
+// BoundaryFrames sums boundary target receptions over all shard pairs.
+func (m *Medium) BoundaryFrames() uint64 {
+	var total uint64
+	for i := range m.shardMail {
+		total += m.shardMail[i].Frames
+	}
+	return total
+}
+
+// LookaheadViolations counts boundary deliveries scheduled less than one
+// packet time (the frame's airtime plus propagation delay) after the
+// sending shard's committed horizon. The medium's physics make this
+// impossible — a frame cannot arrive before it has been on the air — so
+// the counter stays zero except under the shardmut mutation build, which
+// deliberately shaves the bound to prove the differential suite notices.
+func (m *Medium) LookaheadViolations() uint64 { return m.lookaheadViolations }
+
+// noteBoundary accounts one boundary target reception from shard `from`
+// to shard `to`, delivered at rxAt for a transmission committed at now;
+// bound is the frame's conservative lookahead (airtime + propagation).
+func (m *Medium) noteBoundary(from, to int32, rxAt, now, bound time.Duration) {
+	st := &m.shardMail[int(from)*len(m.shardScheds)+int(to)]
+	slack := rxAt - now
+	if st.Frames == 0 || slack < st.MinSlack {
+		st.MinSlack = slack
+	}
+	st.Frames++
+	if slack < bound {
+		m.lookaheadViolations++
+	}
+}
+
 // AddNode registers a stationary node. It returns an error if the id is
 // already present. Registration is the only topology mutation the medium
 // supports (nodes never move or deregister), so it inserts the node into
@@ -316,7 +433,11 @@ func (m *Medium) AddNode(id NodeID, pos geom.Point, recv Receiver) error {
 	if _, ok := m.nodes[id]; ok {
 		return fmt.Errorf("radio: node %d already registered", id)
 	}
-	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
+	n := &nodeState{id: id, pos: pos, recv: recv}
+	if m.shardOfPos != nil {
+		n.shard = m.shardOfPos(pos)
+	}
+	m.nodes[id] = n
 	i, _ := slices.BinarySearch(m.order, id)
 	m.order = slices.Insert(m.order, i, id)
 	key := m.cellOf(pos)
@@ -659,6 +780,14 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		f.Bits = DefaultFrameBits
 	}
 
+	// Every medium event of this frame — CSMA retry, delivery batch,
+	// receptions, tx-done — is scheduled on the shard owning the sender's
+	// region, so the sending shard's heap carries its own traffic.
+	sched := m.sched
+	if len(m.shardScheds) > 0 {
+		sched = m.shardScheds[src.shard]
+	}
+
 	now := m.sched.Now()
 	if !m.params.DisableCSMA && attempt < maxCSMAAttempts {
 		if busyUntil := m.channelBusyUntil(src); busyUntil > now {
@@ -666,7 +795,7 @@ func (m *Medium) trySend(f Frame, attempt int) {
 			ps := m.acquirePS()
 			ps.f = f
 			ps.attempt = attempt + 1
-			m.sched.AtEventOwned(busyUntil+backoff, simtime.OwnerRadio, pendingSendFire, ps)
+			sched.AtEventOwned(busyUntil+backoff, simtime.OwnerRadio, pendingSendFire, ps)
 			return
 		}
 	}
@@ -702,6 +831,13 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		batch = m.acquireBatch()
 		batch.tx = tx
 	}
+	deliverAt := end + m.params.PropDelay
+	// lookahead is the conservative bound boundary deliveries must clear:
+	// one packet time. deliverAt - now ≥ airtime + PropDelay always holds
+	// (start ≥ now), which is exactly what lets a free-running conservative
+	// executor advance a shard to min(neighbor horizons) + lookahead.
+	lookahead := airtime + m.params.PropDelay
+	crossesShard := false
 	intended := 0
 	// Neighbors is exactly the in-range receiver set in ascending id
 	// order — the same nodes the old full-field scan selected — and it is
@@ -717,7 +853,20 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		if isTarget {
 			intended++
 		}
-		m.scheduleReception(dst, f, tx, batch, start, end, isTarget)
+		cross := len(m.shardScheds) > 0 && dst.shard != src.shard
+		if isTarget && cross {
+			m.noteBoundary(src.shard, dst.shard, deliverAt+shardMutSkew, now, lookahead)
+			crossesShard = true
+		}
+		if rx := m.scheduleReception(dst, f, tx, batch, start, end, isTarget); rx != nil {
+			// Per-receiver reference path: boundary receptions carry the
+			// shardmut skew (zero in nominal builds).
+			at := deliverAt
+			if cross {
+				at += shardMutSkew
+			}
+			sched.AtEventOwned(at, simtime.OwnerRadio, receptionDone, rx)
+		}
 	}
 	if intended == 0 {
 		// Nobody could ever receive it: record immediately. No target
@@ -737,14 +886,20 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	if batch != nil {
 		// One event delivers the whole batch in id order and then runs the
 		// undelivered check — the same total order the per-receiver events
-		// formed as a contiguous same-timestamp block.
-		m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, batchDeliver, batch)
+		// formed as a contiguous same-timestamp block. A batch with any
+		// boundary reception carries the shardmut skew as a whole (zero in
+		// nominal builds), mirroring the per-receiver path's divergence.
+		at := deliverAt
+		if crossesShard {
+			at += shardMutSkew
+		}
+		sched.AtEventOwned(at, simtime.OwnerRadio, batchDeliver, batch)
 		return
 	}
 	// After the last possible delivery, check whether anyone got it. The
 	// deliveries share this timestamp but were scheduled first, so they
 	// fire first and the check observes the final delivered count.
-	m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, transmissionDone, tx)
+	sched.AtEventOwned(deliverAt, simtime.OwnerRadio, transmissionDone, tx)
 }
 
 // batchDeliver resolves every target reception of one frame in ascending
@@ -786,10 +941,14 @@ func transmissionDone(arg any) {
 }
 
 // scheduleReception models the frame occupying the channel at the receiver
-// during [start, end] and delivers it at end+PropDelay unless corrupted.
+// during [start, end] and queues its delivery at end+PropDelay unless the
+// receiver is not a target. On the batched path the reception joins the
+// frame's delivery batch and nil is returned; on the per-receiver
+// reference path the pending reception is returned for the caller to
+// schedule (trySend routes it to the sending shard's scheduler).
 // Non-target receivers still experience channel occupancy (their concurrent
 // receptions collide) but do not receive or account the frame.
-func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, batch *deliveryBatch, start, end time.Duration, isTarget bool) {
+func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, batch *deliveryBatch, start, end time.Duration, isTarget bool) *reception {
 	rx := m.acquireRX()
 	rx.start, rx.end = start, end
 
@@ -818,7 +977,7 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, ba
 	dst.rx = append(dst.rx, rx)
 
 	if !isTarget {
-		return
+		return nil
 	}
 
 	lossProb := m.params.LossProb
@@ -839,9 +998,9 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, ba
 	rx.hasEvent = true
 	if batch != nil {
 		batch.rxs = append(batch.rxs, rx)
-		return
+		return nil
 	}
-	m.sched.AtEventOwned(end+m.params.PropDelay, simtime.OwnerRadio, receptionDone, rx)
+	return rx
 }
 
 // receptionDone resolves one target reception on the per-receiver

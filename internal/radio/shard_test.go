@@ -1,0 +1,232 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+)
+
+// newShardedMedium builds a medium on a k-shard group with the field
+// [0,width)x[0,height) split into k vertical stripes.
+func newShardedMedium(t *testing.T, k int, width float64, p Params, seed int64) (*simtime.ShardGroup, *Medium) {
+	t.Helper()
+	g := simtime.NewShardGroup(k)
+	var stats trace.Stats
+	m := New(g.Shard(0), p, rand.New(rand.NewSource(seed)), &stats)
+	stripe := width / float64(k)
+	m.SetSharding(g.Schedulers(), func(pt geom.Point) int32 {
+		s := int32(pt.X / stripe)
+		if s < 0 {
+			s = 0
+		}
+		if s >= int32(k) {
+			s = int32(k) - 1
+		}
+		return s
+	})
+	return g, m
+}
+
+// TestShardMutSkewIsZeroInNominalBuilds pins the mutation constant: the
+// differential battery's byte-identity claims hold only because nominal
+// builds add exactly zero skew to cross-shard deliveries.
+func TestShardMutSkewIsZeroInNominalBuilds(t *testing.T) {
+	if shardMutSkew != 0 {
+		t.Fatalf("shardMutSkew = %v in a nominal build; run mutation tests with -tags shardmut only", time.Duration(shardMutSkew))
+	}
+}
+
+// TestBoundaryClassification checks nodes resolve to the shard owning
+// their region — both when registered after SetSharding and before it
+// (backfill) — and that a frame crossing the stripe boundary is
+// accounted as boundary traffic on the right (from, to) pair while
+// same-shard traffic stays out of the mailboxes.
+func TestBoundaryClassification(t *testing.T) {
+	g, m := newShardedMedium(t, 2, 10, Params{CommRadius: 3}, 1)
+	// 4.0 is in stripe [0,5) -> shard 0; 6.0 in [5,10) -> shard 1.
+	if err := m.AddNode(1, geom.Pt(4, 0), func(Frame) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode(2, geom.Pt(6, 0), func(Frame) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode(3, geom.Pt(3, 0), func(Frame) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NodeShard(1); got != 0 {
+		t.Fatalf("NodeShard(1) = %d, want 0", got)
+	}
+	if got := m.NodeShard(2); got != 1 {
+		t.Fatalf("NodeShard(2) = %d, want 1", got)
+	}
+
+	m.Send(Frame{Kind: trace.KindHeartbeat, Src: 1, Dst: Broadcast})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1's broadcast targets 2 (cross: shard 0 -> 1) and 3 (same
+	// shard, unaccounted).
+	if st := m.ShardMailboxStat(0, 1); st.Frames != 1 {
+		t.Fatalf("ShardMailboxStat(0,1).Frames = %d, want 1", st.Frames)
+	}
+	if st := m.ShardMailboxStat(1, 0); st.Frames != 0 {
+		t.Fatalf("ShardMailboxStat(1,0).Frames = %d, want 0", st.Frames)
+	}
+	if got := m.BoundaryFrames(); got != 1 {
+		t.Fatalf("BoundaryFrames() = %d, want 1", got)
+	}
+	if v := m.LookaheadViolations(); v != 0 {
+		t.Fatalf("LookaheadViolations() = %d, want 0", v)
+	}
+}
+
+// TestConservativeLookaheadInvariant is the property test of the shard
+// synchronization bound: across randomized fields, shard counts, frame
+// sizes, and send schedules (CSMA deferrals, per-receiver and batched
+// delivery, losses), no cross-shard frame is ever delivered at a
+// timestamp earlier than the sending shard's committed horizon plus one
+// packet time — every mailbox's MinSlack clears the smallest frame's
+// airtime + propagation delay, and the violation counter stays zero.
+func TestConservativeLookaheadInvariant(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+		k := 2 + rng.Intn(7) // 2..8 shards
+		width := 8 + rng.Float64()*24
+		p := Params{
+			CommRadius:          1.5 + rng.Float64()*4,
+			PropDelay:           time.Duration(rng.Intn(3)) * time.Millisecond,
+			LossProb:            rng.Float64() * 0.3,
+			PerReceiverDelivery: trial%2 == 0,
+		}
+		g, m := newShardedMedium(t, k, width, p, int64(trial))
+
+		nodes := 20 + rng.Intn(40)
+		for id := 0; id < nodes; id++ {
+			pos := geom.Pt(rng.Float64()*width, rng.Float64()*10)
+			if err := m.AddNode(NodeID(id), pos, func(Frame) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		minBits := DefaultFrameBits
+		for i := 0; i < 150; i++ {
+			src := NodeID(rng.Intn(nodes))
+			dst := Broadcast
+			if rng.Float64() < 0.4 {
+				dst = NodeID(rng.Intn(nodes))
+			}
+			bits := 0
+			if rng.Float64() < 0.3 {
+				bits = 64 + rng.Intn(512)
+				if bits < minBits {
+					minBits = bits
+				}
+			}
+			at := time.Duration(rng.Intn(2000)) * time.Millisecond
+			f := Frame{Kind: trace.KindHeartbeat, Src: src, Dst: dst, Bits: bits}
+			g.Shard(int(m.NodeShard(src))).AtEvent(at, func(arg any) {
+				m.Send(arg.(Frame))
+			}, f)
+		}
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		if v := m.LookaheadViolations(); v != 0 {
+			t.Fatalf("trial %d: %d lookahead violations", trial, v)
+		}
+		bound := m.Airtime(minBits) + p.PropDelay
+		for from := 0; from < k; from++ {
+			for to := 0; to < k; to++ {
+				st := m.ShardMailboxStat(from, to)
+				if st.Frames > 0 && st.MinSlack < bound {
+					t.Fatalf("trial %d: mailbox (%d,%d) MinSlack %v below one packet time %v",
+						trial, from, to, st.MinSlack, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeliveryMatchesSerial checks the medium itself (no
+// middleware above it) produces identical reception sequences serial and
+// sharded, on both delivery paths: same receivers, same timestamps, same
+// frame ids, same loss/collision accounting.
+func TestShardedDeliveryMatchesSerial(t *testing.T) {
+	type rcpt struct {
+		dst NodeID
+		src NodeID
+		id  uint64
+		at  time.Duration
+	}
+	run := func(k int, perReceiver bool) ([]rcpt, trace.KindStats) {
+		p := Params{CommRadius: 2.5, PropDelay: time.Millisecond, LossProb: 0.15, PerReceiverDelivery: perReceiver}
+		var sched *simtime.Scheduler
+		var g *simtime.ShardGroup
+		var stats trace.Stats
+		var m *Medium
+		if k > 1 {
+			g = simtime.NewShardGroup(k)
+			sched = g.Shard(0)
+		} else {
+			sched = simtime.NewScheduler()
+		}
+		m = New(sched, p, rand.New(rand.NewSource(7)), &stats)
+		if k > 1 {
+			m.SetSharding(g.Schedulers(), func(pt geom.Point) int32 {
+				s := int32(pt.X / (12.0 / float64(k)))
+				if s >= int32(k) {
+					s = int32(k) - 1
+				}
+				return s
+			})
+		}
+		var got []rcpt
+		const nodes = 30
+		rng := rand.New(rand.NewSource(99))
+		for id := 0; id < nodes; id++ {
+			dst := NodeID(id)
+			pos := geom.Pt(rng.Float64()*12, rng.Float64()*4)
+			if err := m.AddNode(dst, pos, func(f Frame) {
+				got = append(got, rcpt{dst: dst, src: f.Src, id: f.ID, at: sched.Now()})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			src := NodeID(rng.Intn(nodes))
+			at := time.Duration(rng.Intn(1500)) * time.Millisecond
+			srcSched := sched
+			if k > 1 {
+				srcSched = g.Shard(int(m.NodeShard(src)))
+			}
+			srcSched.AtEvent(at, func(arg any) { m.Send(arg.(Frame)) },
+				Frame{Kind: trace.KindHeartbeat, Src: src, Dst: Broadcast})
+		}
+		if err := sched.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got, stats.Kind(trace.KindHeartbeat)
+	}
+
+	for _, perReceiver := range []bool{false, true} {
+		base, baseStats := run(1, perReceiver)
+		for _, k := range []int{2, 4, 8} {
+			got, gotStats := run(k, perReceiver)
+			if len(got) != len(base) {
+				t.Fatalf("perReceiver=%v k=%d: %d receptions, serial %d", perReceiver, k, len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("perReceiver=%v k=%d: reception %d = %+v, serial %+v", perReceiver, k, i, got[i], base[i])
+				}
+			}
+			if gotStats != baseStats {
+				t.Fatalf("perReceiver=%v k=%d: stats diverge from serial", perReceiver, k)
+			}
+		}
+	}
+}

@@ -72,6 +72,13 @@ func Owners() []Owner {
 type Profile struct {
 	counts [NumOwners]atomic.Uint64
 	nanos  [NumOwners]atomic.Int64
+
+	// shardCounts/shardNanos, when non-empty, additionally attribute
+	// every event to the scheduler shard that executed it (EnsureShards
+	// sizes them; sharded runs tag their profiles this way). Serial
+	// schedulers report as shard 0.
+	shardCounts []atomic.Uint64
+	shardNanos  []atomic.Int64
 }
 
 // NewProfile returns an empty profile.
@@ -80,6 +87,52 @@ func NewProfile() *Profile { return &Profile{} }
 func (p *Profile) add(o Owner, d time.Duration) {
 	p.counts[o].Add(1)
 	p.nanos[o].Add(int64(d))
+}
+
+// EnsureShards sizes the per-shard attribution dimension to at least k
+// shards. It must be called before the profile is shared across running
+// schedulers (growing the slices concurrently with addShard would race).
+func (p *Profile) EnsureShards(k int) {
+	if k > len(p.shardCounts) {
+		counts := make([]atomic.Uint64, k)
+		nanos := make([]atomic.Int64, k)
+		for i := range p.shardCounts {
+			counts[i].Store(p.shardCounts[i].Load())
+			nanos[i].Store(p.shardNanos[i].Load())
+		}
+		p.shardCounts, p.shardNanos = counts, nanos
+	}
+}
+
+func (p *Profile) addShard(shard int32, d time.Duration) {
+	if int(shard) < len(p.shardCounts) {
+		p.shardCounts[shard].Add(1)
+		p.shardNanos[shard].Add(int64(d))
+	}
+}
+
+// ShardStat is one scheduler shard's accumulated attribution.
+type ShardStat struct {
+	Shard     int
+	Events    uint64
+	WallNanos int64
+}
+
+// ShardSnapshot returns per-shard totals in shard order, or nil when the
+// profile has no shard dimension (EnsureShards was never called).
+func (p *Profile) ShardSnapshot() []ShardStat {
+	if len(p.shardCounts) == 0 {
+		return nil
+	}
+	out := make([]ShardStat, len(p.shardCounts))
+	for i := range out {
+		out[i] = ShardStat{
+			Shard:     i,
+			Events:    p.shardCounts[i].Load(),
+			WallNanos: p.shardNanos[i].Load(),
+		}
+	}
+	return out
 }
 
 // OwnerStat is one subsystem's accumulated attribution.
@@ -124,11 +177,15 @@ func (p *Profile) TotalNanos() int64 {
 	return t
 }
 
-// Reset zeroes every accumulator.
+// Reset zeroes every accumulator (the shard dimension keeps its size).
 func (p *Profile) Reset() {
 	for i := range p.counts {
 		p.counts[i].Store(0)
 		p.nanos[i].Store(0)
+	}
+	for i := range p.shardCounts {
+		p.shardCounts[i].Store(0)
+		p.shardNanos[i].Store(0)
 	}
 }
 
@@ -164,6 +221,8 @@ func (s *Scheduler) runProfiled(owner Owner, fn Callback, pfn EventFunc, arg any
 	} else if pfn != nil {
 		pfn(arg)
 	}
-	s.prof.add(owner, time.Since(start))
+	d := time.Since(start)
+	s.prof.add(owner, d)
+	s.prof.addShard(s.shardID, d)
 	pprof.SetGoroutineLabels(context.Background())
 }

@@ -1,0 +1,257 @@
+// Spatially sharded execution: a ShardGroup partitions one run's event
+// population across k scheduler shards — each a full clone of the pooled
+// 4-ary heap, its timer slots, and its free list — and executes them with
+// a deterministic k-way merge. The three pieces of state that define the
+// serial semantics are group-shared:
+//
+//   - the sequence counter, so (at, seq) stays a total order over the
+//     union of the shard heaps;
+//   - the clock, so every shard observes the same "now" no matter which
+//     shard fired the last event;
+//   - the stop flag, so stopping any shard stops the run.
+//
+// Because the merge executor always fires the globally least (at, seq)
+// head, the execution (and therefore every RNG draw, stats update, and
+// observability emission) is byte-for-byte the single-heap order: a
+// sharded run's trace is identical to serial at any shard count. That is
+// the determinism contract the differential battery in internal/eval
+// pins.
+//
+// Why a deterministic merge rather than free-running shards behind a
+// conservative-lookahead barrier: the radio model gives cross-shard
+// *deliveries* a natural lookahead of one packet time (airtime plus
+// propagation — see internal/radio's mailbox accounting), but two
+// couplings have zero lookahead and pin the commit granularity to a
+// single event. First, a frame transmitted at time t occupies the channel
+// at every in-range receiver from t onward, so a boundary mote's CSMA
+// busy check or collision overlap in a neighboring shard can observe an
+// effect at the very timestamp it was caused. Second, the medium draws
+// loss and backoff randomness from one seeded stream in global event
+// order; any reordering of draws across shards changes their values, not
+// just their order. The shard layer therefore keeps the heaps, ownership,
+// horizons, and mailbox protocol of the distributed design — per-shard
+// heaps stay small and cache-dense, and cross-shard traffic is classified
+// and bounded — while the executor interleaves shards deterministically.
+// Free-running windows become possible once randomness is partitioned
+// per shard (counter-based, mote-keyed draws); the horizon bookkeeping
+// here is written so that executor can slot in without changing the
+// scheduling API.
+package simtime
+
+import "time"
+
+// ShardMailboxStat accounts one ordered shard pair's cross-shard
+// scheduling traffic: events scheduled onto shard `to` while shard `from`
+// was executing.
+type ShardMailboxStat struct {
+	// Events counts cross-shard schedulings on this pair.
+	Events uint64
+	// MinSlack is the smallest (at - now) over those schedulings: how far
+	// ahead of the sending shard's committed horizon the earliest-landing
+	// cross-shard event was placed. Zero-valued (and meaningless) while
+	// Events is 0.
+	MinSlack time.Duration
+}
+
+// ShardGroup is a deterministic sharded discrete-event executor: k
+// scheduler shards sharing one sequence counter, one clock, and one stop
+// flag, merged in (at, seq) order. It is not safe for concurrent use;
+// like the Scheduler, all protocol code runs inside event callbacks on
+// the executor's goroutine.
+type ShardGroup struct {
+	shards  []*Scheduler
+	seq     uint64
+	now     time.Duration
+	stopped bool
+	// executing is the shard whose event callback is currently running
+	// (-1 between events); schedule() uses it to classify cross-shard
+	// scheduling.
+	executing int32
+	// executed counts events fired through the group executor.
+	executed uint64
+	// horizons[i] is shard i's committed horizon: the timestamp of the
+	// last event it executed. A conservative free-running executor may
+	// safely advance shard i to min over neighbor horizons plus the
+	// cross-shard lookahead; the merge executor maintains the horizons so
+	// the invariant is observable and testable.
+	horizons []time.Duration
+	// mail is the k x k cross-shard mailbox accounting matrix, indexed
+	// from*k + to.
+	mail []ShardMailboxStat
+}
+
+// NewShardGroup returns a group of k empty scheduler shards (k >= 1)
+// sharing one clock and sequence source. Shard 0 is the conventional home
+// of run-global events (sensing sweep, series sampler, chaos schedule).
+func NewShardGroup(k int) *ShardGroup {
+	if k < 1 {
+		k = 1
+	}
+	g := &ShardGroup{
+		shards:    make([]*Scheduler, k),
+		executing: -1,
+		horizons:  make([]time.Duration, k),
+		mail:      make([]ShardMailboxStat, k*k),
+	}
+	for i := range g.shards {
+		s := NewScheduler()
+		s.group = g
+		s.shardID = int32(i)
+		g.shards[i] = s
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i's scheduler. Motes owned by region i schedule all
+// their protocol timers through it.
+func (g *ShardGroup) Shard(i int) *Scheduler { return g.shards[i] }
+
+// Schedulers returns the shard schedulers in shard order. The slice is
+// shared; callers must not mutate it.
+func (g *ShardGroup) Schedulers() []*Scheduler { return g.shards }
+
+// Now returns the group's (shared) virtual clock.
+func (g *ShardGroup) Now() time.Duration { return g.now }
+
+// Executed returns the number of events fired through the group.
+func (g *ShardGroup) Executed() uint64 { return g.executed }
+
+// Len returns the number of pending events across all shards.
+func (g *ShardGroup) Len() int {
+	total := 0
+	for _, s := range g.shards {
+		total += s.live
+	}
+	return total
+}
+
+// Horizon returns shard i's committed horizon: the timestamp of the last
+// event it executed (zero before its first event).
+func (g *ShardGroup) Horizon(i int) time.Duration { return g.horizons[i] }
+
+// Mailbox returns the cross-shard accounting for the ordered pair
+// (from, to).
+func (g *ShardGroup) Mailbox(from, to int) ShardMailboxStat {
+	return g.mail[from*len(g.shards)+to]
+}
+
+// CrossEvents sums cross-shard scheduling counts over all pairs.
+func (g *ShardGroup) CrossEvents() uint64 {
+	var total uint64
+	for i := range g.mail {
+		total += g.mail[i].Events
+	}
+	return total
+}
+
+// noteCross records one cross-shard scheduling: an event placed on shard
+// `to` at timestamp `at` while shard `from` was executing.
+func (g *ShardGroup) noteCross(from, to int32, at time.Duration) {
+	st := &g.mail[int(from)*len(g.shards)+int(to)]
+	slack := at - g.now
+	if st.Events == 0 || slack < st.MinSlack {
+		st.MinSlack = slack
+	}
+	st.Events++
+}
+
+// pickMin returns the shard holding the globally least (at, seq) head, or
+// -1 when every shard is drained. Tombstones are discarded during the
+// scan.
+func (g *ShardGroup) pickMin() (int, event) {
+	best := -1
+	var bestEv event
+	for i, s := range g.shards {
+		ev, ok := s.peek()
+		if !ok {
+			continue
+		}
+		if best < 0 || eventLess(&ev, &bestEv) {
+			best, bestEv = i, ev
+		}
+	}
+	return best, bestEv
+}
+
+// stepShard pops and fires the head event of shard i, advancing the
+// shared clock and the shard's committed horizon.
+func (g *ShardGroup) stepShard(i int, ev event) {
+	s := g.shards[i]
+	s.popTop()
+	g.now = ev.at
+	g.horizons[i] = ev.at
+	g.executed++
+	g.executing = int32(i)
+	s.fire(ev)
+	g.executing = -1
+}
+
+// Step fires the globally earliest pending event across all shards. It
+// reports whether an event was executed.
+func (g *ShardGroup) Step() bool {
+	if g.stopped {
+		return false
+	}
+	i, ev := g.pickMin()
+	if i < 0 {
+		return false
+	}
+	g.stepShard(i, ev)
+	return true
+}
+
+// RunUntil executes events in global (at, seq) order until the clock
+// would pass the deadline or no events remain, mirroring
+// Scheduler.RunUntil: on return the clock rests at the deadline unless
+// the group was stopped.
+func (g *ShardGroup) RunUntil(deadline time.Duration) error {
+	for {
+		if g.stopped {
+			return ErrStopped
+		}
+		i, ev := g.pickMin()
+		if i < 0 || ev.at > deadline {
+			break
+		}
+		g.stepShard(i, ev)
+	}
+	if g.stopped {
+		return ErrStopped
+	}
+	if g.now < deadline {
+		g.now = deadline
+	}
+	return nil
+}
+
+// Run executes events until none remain or the group is stopped.
+func (g *ShardGroup) Run() error {
+	for g.Step() {
+	}
+	if g.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stop halts the group: no further events fire.
+func (g *ShardGroup) Stop() { g.stopped = true }
+
+// Stopped reports whether Stop has been called (on the group or any of
+// its shards).
+func (g *ShardGroup) Stopped() bool { return g.stopped }
+
+// SetProfile attaches a self-profile to every shard (nil detaches). When
+// the profile has a shard dimension (EnsureShards), each shard's events
+// are additionally tallied under its shard index.
+func (g *ShardGroup) SetProfile(p *Profile) {
+	if p != nil {
+		p.EnsureShards(len(g.shards))
+	}
+	for _, s := range g.shards {
+		s.SetProfile(p)
+	}
+}

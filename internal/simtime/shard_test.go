@@ -1,0 +1,299 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestShardGroupMatchesReferenceModel drives a ShardGroup and the PR 4
+// sorted-slice reference model through independently seeded random
+// schedules of interleaved At/Stop/Step operations, with every event
+// placed on a randomly drawn shard (including events that re-schedule
+// onto other shards and stop timers from inside their callbacks). The
+// merge executor must reproduce the reference's firing order, firing
+// timestamps, executed counts, and pending-length bookkeeping exactly:
+// sharding is a partition of the heap, never a reordering.
+func TestShardGroupMatchesReferenceModel(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		for schedule := 0; schedule < 250; schedule++ {
+			rng := rand.New(rand.NewSource(int64(k*10_000+schedule) + 1))
+			g := NewShardGroup(k)
+			ref := &refModel{}
+
+			var got []firing
+			nextID := 0
+			live := map[int]Timer{}
+			ids := []int{}
+
+			removeID := func(id int) {
+				delete(live, id)
+				for i, v := range ids {
+					if v == id {
+						ids = append(ids[:i], ids[i+1:]...)
+						break
+					}
+				}
+			}
+
+			var schedOne func(at time.Duration, rearm int)
+			schedOne = func(at time.Duration, rearm int) {
+				id := nextID
+				nextID++
+				shard := g.Shard(rng.Intn(k))
+				tm := shard.At(at, func() {
+					got = append(got, firing{id: id, at: g.Now()})
+					removeID(id)
+					if rearm > 0 {
+						// Callback churn across shards: the successor lands
+						// on a random shard, possibly not the firing one.
+						schedOne(g.Now()+time.Duration(rng.Intn(50))*time.Millisecond, rearm-1)
+						if len(ids) > 0 {
+							victim := ids[rng.Intn(len(ids))]
+							sGot := live[victim].Stop()
+							refGot := ref.stop(victim)
+							if sGot != refGot {
+								t.Fatalf("k=%d schedule %d: nested Stop(%d) = %v, ref %v", k, schedule, victim, sGot, refGot)
+							}
+							if sGot {
+								removeID(victim)
+							}
+						}
+					}
+				})
+				live[id] = tm
+				ids = append(ids, id)
+				ref.schedule(at, id)
+			}
+
+			ops := 30 + rng.Intn(120)
+			for op := 0; op < ops; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					rearm := 0
+					if rng.Float64() < 0.2 {
+						rearm = 1 + rng.Intn(2)
+					}
+					at := g.Now() + time.Duration(rng.Intn(200))*time.Millisecond
+					schedOne(at, rearm)
+				case r < 0.70:
+					if len(ids) == 0 {
+						continue
+					}
+					victim := ids[rng.Intn(len(ids))]
+					sGot := live[victim].Stop()
+					refGot := ref.stop(victim)
+					if sGot != refGot {
+						t.Fatalf("k=%d schedule %d op %d: Stop(%d) = %v, ref %v", k, schedule, op, victim, sGot, refGot)
+					}
+					if sGot {
+						removeID(victim)
+					}
+				default:
+					before := len(got)
+					stepped := g.Step()
+					refID, refAt, refStepped := ref.step()
+					if stepped != refStepped {
+						t.Fatalf("k=%d schedule %d op %d: Step() = %v, ref %v", k, schedule, op, stepped, refStepped)
+					}
+					if stepped {
+						if len(got) != before+1 {
+							t.Fatalf("k=%d schedule %d op %d: Step fired %d events, want 1", k, schedule, op, len(got)-before)
+						}
+						f := got[len(got)-1]
+						if f.id != refID || f.at != refAt {
+							t.Fatalf("k=%d schedule %d op %d: fired (%d, %v), ref (%d, %v)", k, schedule, op, f.id, f.at, refID, refAt)
+						}
+						if g.Now() != ref.now {
+							t.Fatalf("k=%d schedule %d op %d: Now() = %v, ref %v", k, schedule, op, g.Now(), ref.now)
+						}
+					}
+				}
+				if g.Len() != len(ref.events) {
+					t.Fatalf("k=%d schedule %d op %d: Len() = %d, ref %d", k, schedule, op, g.Len(), len(ref.events))
+				}
+			}
+
+			for {
+				stepped := g.Step()
+				refID, refAt, refStepped := ref.step()
+				if stepped != refStepped {
+					t.Fatalf("k=%d schedule %d drain: Step() = %v, ref %v", k, schedule, stepped, refStepped)
+				}
+				if !stepped {
+					break
+				}
+				f := got[len(got)-1]
+				if f.id != refID || f.at != refAt {
+					t.Fatalf("k=%d schedule %d drain: fired (%d, %v), ref (%d, %v)", k, schedule, f.id, f.at, refID, refAt)
+				}
+			}
+			if g.Executed() != ref.executed {
+				t.Fatalf("k=%d schedule %d: Executed() = %d, ref %d", k, schedule, g.Executed(), ref.executed)
+			}
+		}
+	}
+}
+
+// TestShardClockIsShared checks every shard observes the group clock:
+// after an event fires on one shard, Now() on every other shard has
+// advanced with it, and relative (After) scheduling on any shard is
+// anchored to the shared clock, not a stale local one.
+func TestShardClockIsShared(t *testing.T) {
+	g := NewShardGroup(3)
+	var order []string
+	g.Shard(1).At(10*time.Millisecond, func() {
+		order = append(order, "a")
+		// Relative scheduling from inside a shard-1 callback onto shard 2
+		// must be anchored at the shared now (10ms), not shard 2's last
+		// executed time (never).
+		g.Shard(2).After(5*time.Millisecond, func() {
+			order = append(order, "b")
+			if g.Now() != 15*time.Millisecond {
+				t.Errorf("cross-shard After fired at %v, want 15ms", g.Now())
+			}
+		})
+		for i := 0; i < g.Shards(); i++ {
+			if got := g.Shard(i).Now(); got != 10*time.Millisecond {
+				t.Errorf("shard %d Now() = %v during shard 1 callback, want 10ms", i, got)
+			}
+		}
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+// TestShardHorizonsMonotonic checks each shard's committed horizon only
+// advances, never exceeds the group clock, and that the group clock
+// equals the max horizon while events are flowing.
+func TestShardHorizonsMonotonic(t *testing.T) {
+	const k = 4
+	g := NewShardGroup(k)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		g.Shard(rng.Intn(k)).At(time.Duration(rng.Intn(1000))*time.Millisecond, func() {})
+	}
+	prev := make([]time.Duration, k)
+	for g.Step() {
+		maxH := time.Duration(0)
+		for i := 0; i < k; i++ {
+			h := g.Horizon(i)
+			if h < prev[i] {
+				t.Fatalf("shard %d horizon regressed: %v -> %v", i, prev[i], h)
+			}
+			if h > g.Now() {
+				t.Fatalf("shard %d horizon %v ahead of group clock %v", i, h, g.Now())
+			}
+			prev[i] = h
+			if h > maxH {
+				maxH = h
+			}
+		}
+		if maxH != g.Now() {
+			t.Fatalf("max horizon %v != group clock %v", maxH, g.Now())
+		}
+	}
+}
+
+// TestShardMailboxAccounting checks cross-shard schedulings are counted
+// on the right (from, to) pair with the right minimum slack, and that
+// same-shard scheduling stays out of the mailboxes.
+func TestShardMailboxAccounting(t *testing.T) {
+	g := NewShardGroup(3)
+	g.Shard(0).At(10*time.Millisecond, func() {
+		g.Shard(1).After(7*time.Millisecond, func() {})  // 0 -> 1, slack 7ms
+		g.Shard(1).After(3*time.Millisecond, func() {})  // 0 -> 1, slack 3ms
+		g.Shard(2).After(20*time.Millisecond, func() {}) // 0 -> 2, slack 20ms
+		g.Shard(0).After(time.Millisecond, func() {})    // same shard: unaccounted
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Mailbox(0, 1); st.Events != 2 || st.MinSlack != 3*time.Millisecond {
+		t.Fatalf("Mailbox(0,1) = %+v, want {2 3ms}", st)
+	}
+	if st := g.Mailbox(0, 2); st.Events != 1 || st.MinSlack != 20*time.Millisecond {
+		t.Fatalf("Mailbox(0,2) = %+v, want {1 20ms}", st)
+	}
+	if st := g.Mailbox(1, 0); st.Events != 0 {
+		t.Fatalf("Mailbox(1,0) = %+v, want empty", st)
+	}
+	if got := g.CrossEvents(); got != 3 {
+		t.Fatalf("CrossEvents() = %d, want 3", got)
+	}
+	// Scheduling from outside any callback (executing == -1) is run setup,
+	// not cross-shard traffic.
+	g2 := NewShardGroup(2)
+	g2.Shard(1).At(time.Millisecond, func() {})
+	if got := g2.CrossEvents(); got != 0 {
+		t.Fatalf("setup scheduling counted as cross-shard: %d", got)
+	}
+}
+
+// TestShardGroupRunUntilAndStop checks the group run loop mirrors
+// Scheduler.RunUntil semantics: the clock rests at the deadline, later
+// events stay pending, and Stop from inside a callback (on the shard or
+// the group) halts the run with ErrStopped from every shard's RunUntil.
+func TestShardGroupRunUntilAndStop(t *testing.T) {
+	g := NewShardGroup(2)
+	fired := 0
+	g.Shard(0).At(10*time.Millisecond, func() { fired++ })
+	g.Shard(1).At(30*time.Millisecond, func() { fired++ })
+	// Driving through a shard's RunUntil must drive the whole group.
+	if err := g.Shard(1).RunUntil(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after RunUntil(20ms), want 1", fired)
+	}
+	if g.Now() != 20*time.Millisecond || g.Shard(0).Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v/%v, want 20ms", g.Now(), g.Shard(0).Now())
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1 pending", g.Len())
+	}
+
+	g.Shard(0).At(25*time.Millisecond, func() { g.Shard(1).Stop() })
+	if err := g.RunUntil(time.Second); err != ErrStopped {
+		t.Fatalf("RunUntil after Stop = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Fatalf("events fired after Stop: %d", fired)
+	}
+	if !g.Stopped() || !g.Shard(0).Stopped() {
+		t.Fatal("Stopped() not visible group-wide")
+	}
+}
+
+// TestShardGroupProfileAttribution checks per-shard profile attribution:
+// every executed event is tallied under the shard that ran it.
+func TestShardGroupProfileAttribution(t *testing.T) {
+	g := NewShardGroup(3)
+	p := NewProfile()
+	g.SetProfile(p)
+	for i := 0; i < 3; i++ {
+		shard := g.Shard(i)
+		for j := 0; j <= i; j++ {
+			shard.At(time.Duration(j+1)*time.Millisecond, func() {})
+		}
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.ShardSnapshot()
+	if len(stats) != 3 {
+		t.Fatalf("ShardSnapshot len = %d, want 3", len(stats))
+	}
+	for i, st := range stats {
+		if st.Events != uint64(i+1) {
+			t.Fatalf("shard %d events = %d, want %d", i, st.Events, i+1)
+		}
+	}
+	if p.TotalEvents() != 6 {
+		t.Fatalf("TotalEvents = %d, want 6", p.TotalEvents())
+	}
+}

@@ -153,6 +153,15 @@ type Scheduler struct {
 	// label contexts, one per owner.
 	prof      *Profile
 	labelCtxs *[NumOwners]context.Context
+
+	// group, when non-nil, makes this scheduler one spatial shard of a
+	// ShardGroup (see shard.go): the sequence counter, the clock, and the
+	// stop flag live on the group so that the merged firing order across
+	// every shard heap is the same (at, seq) total order a single heap
+	// produces. shardID is this scheduler's index within the group and
+	// tags cross-shard scheduling and the self-profiler.
+	group   *ShardGroup
+	shardID int32
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -160,8 +169,13 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{freeHead: -1}
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. Shards of a ShardGroup share one
+// clock, so every shard observes the same "now" regardless of which shard
+// executed the last event.
 func (s *Scheduler) Now() time.Duration {
+	if g := s.group; g != nil {
+		return g.now
+	}
 	return s.now
 }
 
@@ -219,17 +233,33 @@ func (s *Scheduler) push(ev event) {
 // tag, callback or typed handler + payload), and push the heap entry. It
 // returns what a Timer handle needs; handle-less callers discard it.
 func (s *Scheduler) schedule(at time.Duration, owner Owner, fn Callback, pfn EventFunc, arg any) (int32, uint32, time.Duration) {
-	if at < s.now {
-		at = s.now
+	var seq uint64
+	if g := s.group; g != nil {
+		// Group-shared sequence numbers keep (at, seq) a total order over
+		// the union of every shard heap: the merge executor pops exactly
+		// the sequence a single heap would.
+		if at < g.now {
+			at = g.now
+		}
+		g.seq++
+		seq = g.seq
+		if g.executing >= 0 && g.executing != s.shardID {
+			g.noteCross(g.executing, s.shardID, at)
+		}
+	} else {
+		if at < s.now {
+			at = s.now
+		}
+		s.seq++
+		seq = s.seq
 	}
-	s.seq++
 	idx, gen := s.acquireSlot()
 	sl := &s.slots[idx]
 	sl.owner = owner
 	sl.fn = fn
 	sl.pfn = pfn
 	sl.arg = arg
-	s.push(event{at: at, seq: s.seq, slot: idx, gen: gen})
+	s.push(event{at: at, seq: seq, slot: idx, gen: gen})
 	return idx, gen, at
 }
 
@@ -257,7 +287,7 @@ func (s *Scheduler) AfterOwned(d time.Duration, owner Owner, fn Callback) Timer 
 	if d < 0 {
 		d = 0
 	}
-	return s.AtOwned(s.now+d, owner, fn)
+	return s.AtOwned(s.Now()+d, owner, fn)
 }
 
 // AtEvent schedules a typed-payload event with no cancellation handle: fn
@@ -285,7 +315,7 @@ func (s *Scheduler) AfterEventOwned(d time.Duration, owner Owner, fn EventFunc, 
 	if d < 0 {
 		d = 0
 	}
-	s.schedule(s.now+d, owner, nil, fn, arg)
+	s.schedule(s.Now()+d, owner, nil, fn, arg)
 }
 
 // AtEventTimer is AtEvent with a cancellation handle, for hot-path timers
@@ -311,7 +341,7 @@ func (s *Scheduler) AfterEventTimerOwned(d time.Duration, owner Owner, fn EventF
 	if d < 0 {
 		d = 0
 	}
-	return s.AtEventTimerOwned(s.now+d, owner, fn, arg)
+	return s.AtEventTimerOwned(s.Now()+d, owner, fn, arg)
 }
 
 // drainTop discards tombstones at the heap top and reports whether a live
@@ -343,20 +373,25 @@ func (s *Scheduler) popTop() event {
 	return ev
 }
 
-// Step fires the earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed. The slot payload is
-// read and the slot released before the callback runs, so a callback that
-// schedules new events observes a consistent pool.
-func (s *Scheduler) Step() bool {
-	if s.stopped || !s.drainTop() {
-		return false
+// peek returns the shard's earliest live event without popping it, after
+// draining tombstones off the top. The merge executor uses it to pick the
+// globally earliest head across shards.
+func (s *Scheduler) peek() (event, bool) {
+	if !s.drainTop() {
+		return event{}, false
 	}
-	ev := s.popTop()
+	return s.heap[0], true
+}
+
+// fire executes one popped event: the slot payload is read and the slot
+// released before the callback runs, so a callback that schedules new
+// events observes a consistent pool. The caller has already advanced the
+// clock to ev.at.
+func (s *Scheduler) fire(ev event) {
 	sl := &s.slots[ev.slot]
 	fn, pfn, arg, owner := sl.fn, sl.pfn, sl.arg, sl.owner
 	s.releaseSlot(ev.slot)
 	s.live--
-	s.now = ev.at
 	s.executed++
 	if s.prof != nil {
 		s.runProfiled(owner, fn, pfn, arg)
@@ -365,13 +400,33 @@ func (s *Scheduler) Step() bool {
 	} else if pfn != nil {
 		pfn(arg)
 	}
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed. On a sharded
+// scheduler it fires the earliest event of the whole group, whichever
+// shard holds it, preserving the global order.
+func (s *Scheduler) Step() bool {
+	if g := s.group; g != nil {
+		return g.Step()
+	}
+	if s.stopped || !s.drainTop() {
+		return false
+	}
+	ev := s.popTop()
+	s.now = ev.at
+	s.fire(ev)
 	return true
 }
 
 // RunUntil executes events in order until the clock would pass the deadline
 // or no events remain. On return the clock is set to the deadline (unless
 // stopped earlier), so subsequent After calls measure from the deadline.
+// On a sharded scheduler it drives the whole group.
 func (s *Scheduler) RunUntil(deadline time.Duration) error {
+	if g := s.group; g != nil {
+		return g.RunUntil(deadline)
+	}
 	for {
 		if s.stopped {
 			return ErrStopped
@@ -390,8 +445,12 @@ func (s *Scheduler) RunUntil(deadline time.Duration) error {
 	return nil
 }
 
-// Run executes events until none remain or the scheduler is stopped.
+// Run executes events until none remain or the scheduler is stopped. On a
+// sharded scheduler it drives the whole group.
 func (s *Scheduler) Run() error {
+	if g := s.group; g != nil {
+		return g.Run()
+	}
 	for s.Step() {
 	}
 	if s.stopped {
@@ -402,13 +461,20 @@ func (s *Scheduler) Run() error {
 
 // Stop halts the scheduler: no further events fire from RunUntil/Run/Step.
 // It is intended to be called from within an event callback (e.g. when an
-// experiment has observed the condition it was waiting for).
+// experiment has observed the condition it was waiting for). Stopping any
+// shard of a group stops the whole group.
 func (s *Scheduler) Stop() {
 	s.stopped = true
+	if g := s.group; g != nil {
+		g.stopped = true
+	}
 }
 
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool {
+	if g := s.group; g != nil {
+		return g.stopped
+	}
 	return s.stopped
 }
 

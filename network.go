@@ -2,6 +2,7 @@ package envirotrack
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -39,6 +40,7 @@ type networkConfig struct {
 	directory   bool
 	bus         *obs.Bus
 	selfProfile *simtime.Profile
+	shards      int
 }
 
 // Option configures New.
@@ -148,6 +150,20 @@ func WithEventBus(bus *EventBus) Option {
 	return optionFunc(func(c *networkConfig) { c.bus = bus })
 }
 
+// WithShards splits the run's event engine into n spatially sharded
+// scheduler clones: the field bounds are tiled into a near-square grid of
+// n regions, every mote's protocol timers and its outbound radio traffic
+// run on the scheduler shard owning its region, and the shards are merged
+// deterministically in global (at, seq) order. Results and traces are
+// byte-identical to serial (-shards 1, the default) at any shard count —
+// the differential battery in internal/eval pins this — while per-shard
+// heaps stay small and boundary traffic is classified and accounted
+// (Network.BoundaryFrames, Network.LookaheadViolations). n < 2 keeps the
+// serial engine.
+func WithShards(n int) Option {
+	return optionFunc(func(c *networkConfig) { c.shards = n })
+}
+
 // WithSelfProfile attaches a scheduler self-profile: every simulation
 // event is timed and attributed to its owning subsystem (radio, group,
 // routing, ...), and callbacks run under pprof labels so CPU profiles
@@ -163,14 +179,19 @@ func WithSelfProfile(p *SelfProfile) Option {
 // driven by a virtual clock; use Run/RunSession to advance it. A Network
 // is not safe for concurrent use except through a Session.
 type Network struct {
-	cfg    networkConfig
-	sched  *simtime.Scheduler
-	medium *radio.Medium
-	field  *phenomena.Field
-	stats  *trace.Stats
-	ledger *trace.Ledger
-	rng    *rand.Rand
-	bus    *obs.Bus
+	cfg   networkConfig
+	sched *simtime.Scheduler
+	// group is the sharded executor when WithShards(n>1) is in effect
+	// (sched is then its shard 0, the home of run-global events); shardOf
+	// maps a position to its owning shard. Both nil/unset in serial runs.
+	group   *simtime.ShardGroup
+	shardOf func(geom.Point) int32
+	medium  *radio.Medium
+	field   *phenomena.Field
+	stats   *trace.Stats
+	ledger  *trace.Ledger
+	rng     *rand.Rand
+	bus     *obs.Bus
 
 	nodes   map[NodeID]*Node
 	started bool
@@ -207,10 +228,27 @@ func New(opts ...Option) (*Network, error) {
 	if cfg.commRadius <= 0 {
 		return nil, fmt.Errorf("envirotrack: communication radius must be positive")
 	}
+	if !cfg.boundsSet {
+		cfg.bounds = geom.Grid{Cols: cfg.cols, Rows: cfg.rows}.Bounds()
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
 
 	sched := simtime.NewScheduler()
+	var shardGroup *simtime.ShardGroup
+	var shardOf func(geom.Point) int32
+	if cfg.shards > 1 {
+		shardGroup = simtime.NewShardGroup(cfg.shards)
+		sched = shardGroup.Shard(0)
+		shardOf = shardMapper(cfg.bounds, cfg.shards)
+	}
 	if cfg.selfProfile != nil {
-		sched.SetProfile(cfg.selfProfile)
+		if shardGroup != nil {
+			shardGroup.SetProfile(cfg.selfProfile)
+		} else {
+			sched.SetProfile(cfg.selfProfile)
+		}
 	}
 	var stats trace.Stats
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -224,21 +262,23 @@ func New(opts ...Option) (*Network, error) {
 		PerReceiverDelivery: cfg.perReceiver,
 	}, rng, &stats)
 	medium.SetObserver(cfg.bus)
+	if shardGroup != nil {
+		medium.SetSharding(shardGroup.Schedulers(), shardOf)
+	}
 
 	n := &Network{
-		cfg:    cfg,
-		sched:  sched,
-		medium: medium,
-		field:  phenomena.NewField(),
-		stats:  &stats,
-		ledger: &trace.Ledger{},
-		rng:    rng,
-		bus:    cfg.bus,
-		nodes:  make(map[NodeID]*Node),
-		hot:    mote.NewHotState(),
-	}
-	if !cfg.boundsSet {
-		n.cfg.bounds = geom.Grid{Cols: cfg.cols, Rows: cfg.rows}.Bounds()
+		cfg:     cfg,
+		sched:   sched,
+		group:   shardGroup,
+		shardOf: shardOf,
+		medium:  medium,
+		field:   phenomena.NewField(),
+		stats:   &stats,
+		ledger:  &trace.Ledger{},
+		rng:     rng,
+		bus:     cfg.bus,
+		nodes:   make(map[NodeID]*Node),
+		hot:     mote.NewHotState(),
 	}
 
 	if cfg.cols > 0 && cfg.rows > 0 {
@@ -259,17 +299,60 @@ func New(opts ...Option) (*Network, error) {
 	return n, nil
 }
 
+// shardMapper returns a function mapping positions to one of k shard
+// regions tiling bounds in a near-square gx x gy grid (gx*gy = k, with
+// the longer field dimension getting the larger factor). Positions
+// outside the bounds — pursuers, off-field base stations — clamp to the
+// nearest region, so every mote has an owner.
+func shardMapper(bounds geom.Rect, k int) func(geom.Point) int32 {
+	gy := int(math.Sqrt(float64(k)))
+	for k%gy != 0 {
+		gy--
+	}
+	gx := k / gy
+	if bounds.Height() > bounds.Width() {
+		gx, gy = gy, gx
+	}
+	w, h := bounds.Width(), bounds.Height()
+	return func(p geom.Point) int32 {
+		p = bounds.Clamp(p)
+		col, row := 0, 0
+		if w > 0 {
+			col = int(float64(gx) * (p.X - bounds.Min.X) / w)
+			if col >= gx {
+				col = gx - 1
+			}
+		}
+		if h > 0 {
+			row = int(float64(gy) * (p.Y - bounds.Min.Y) / h)
+			if row >= gy {
+				row = gy - 1
+			}
+		}
+		return int32(row*gx + col)
+	}
+}
+
 // AddMote deploys an additional mote (e.g. a base station). It must be
-// called before Run.
+// called before Run. Under sharded execution the mote's scheduler is the
+// shard owning its region: every protocol timer it ever arms lands on
+// that shard's heap.
 func (n *Network) AddMote(id NodeID, pos Point, model *SensorModel) (*Node, error) {
 	if n.started {
 		return nil, fmt.Errorf("envirotrack: cannot add motes after the network started")
 	}
-	m, err := mote.New(id, pos, n.sched, n.medium, n.field, model, n.cfg.moteCfg, n.rng, n.stats)
+	sched := n.sched
+	var shard int32
+	if n.group != nil {
+		shard = n.shardOf(pos)
+		sched = n.group.Shard(int(shard))
+	}
+	m, err := mote.New(id, pos, sched, n.medium, n.field, model, n.cfg.moteCfg, n.rng, n.stats)
 	if err != nil {
 		return nil, fmt.Errorf("envirotrack: %w", err)
 	}
-	m.BindHot(n.hot)
+	idx := m.BindHot(n.hot)
+	n.hot.SetShard(idx, shard)
 	m.SetObserver(n.bus)
 	stack := core.NewStack(m, n.medium, core.StackConfig{
 		Bounds:       n.cfg.bounds,
@@ -510,6 +593,54 @@ func (n *Network) TargetPosition(t *Target) Point {
 // Bounds returns the field bounds.
 func (n *Network) Bounds() Rect {
 	return n.cfg.bounds
+}
+
+// Shards returns the number of scheduler shards executing the run (1 for
+// the serial engine).
+func (n *Network) Shards() int {
+	if n.group != nil {
+		return n.group.Shards()
+	}
+	return 1
+}
+
+// ShardOf returns the shard owning a position (always 0 in serial runs).
+func (n *Network) ShardOf(p Point) int {
+	if n.shardOf != nil {
+		return int(n.shardOf(p))
+	}
+	return 0
+}
+
+// ShardHorizon returns shard i's committed horizon — the timestamp of
+// the last event it executed (the group clock itself in serial runs).
+func (n *Network) ShardHorizon(i int) time.Duration {
+	if n.group != nil {
+		return n.group.Horizon(i)
+	}
+	return n.sched.Now()
+}
+
+// CrossShardEvents counts scheduler events placed on a different shard
+// than the one executing (0 in serial runs).
+func (n *Network) CrossShardEvents() uint64 {
+	if n.group != nil {
+		return n.group.CrossEvents()
+	}
+	return 0
+}
+
+// BoundaryFrames counts radio target receptions whose sender and
+// receiver live in different shards (0 in serial runs).
+func (n *Network) BoundaryFrames() uint64 {
+	return n.medium.BoundaryFrames()
+}
+
+// LookaheadViolations counts cross-shard deliveries that landed closer
+// to the sending shard's committed horizon than one packet time. Always
+// zero outside the shardmut mutation build.
+func (n *Network) LookaheadViolations() uint64 {
+	return n.medium.LookaheadViolations()
 }
 
 // --- Node methods ---
