@@ -280,7 +280,7 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 // by simStep of virtual time per iteration. Construction and a one-second
 // settling run (group formation, pool warm-up) happen outside the timer,
 // so ns/op and allocs/op measure steady-state tracking only.
-func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duration, shards int) {
+func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duration, shards int, parallel bool) {
 	b.Helper()
 	opts := []envirotrack.Option{
 		envirotrack.WithGrid(cols, rows),
@@ -288,7 +288,9 @@ func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duratio
 		envirotrack.WithSensing(envirotrack.VehicleSensing("vehicle")),
 		envirotrack.WithSeed(1),
 	}
-	if shards > 1 {
+	if parallel {
+		opts = append(opts, envirotrack.WithParallelShards(shards))
+	} else if shards > 1 {
 		opts = append(opts, envirotrack.WithShards(shards))
 	}
 	n, err := envirotrack.New(opts...)
@@ -335,19 +337,29 @@ func benchLargeField(b *testing.B, cols, rows, targets int, simStep time.Duratio
 // run under -race in CI.
 func BenchmarkLargeField(b *testing.B) {
 	b.Run("10k", func(b *testing.B) {
-		benchLargeField(b, 100, 100, 4, 2*time.Second, 1)
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 1, false)
 	})
 	// Sharded variants of the same field: identical results and traces
 	// (the differential battery pins that), with the event population
 	// split across per-shard heaps merged deterministically.
 	b.Run("10k-shards2", func(b *testing.B) {
-		benchLargeField(b, 100, 100, 4, 2*time.Second, 2)
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 2, false)
 	})
 	b.Run("10k-shards4", func(b *testing.B) {
-		benchLargeField(b, 100, 100, 4, 2*time.Second, 4)
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 4, false)
+	})
+	// Free-running variants: shard goroutines execute concurrently under
+	// the conservative lookahead barrier. Results are statistically
+	// equivalent to serial (the equivalence battery pins that), not
+	// byte-identical; sim_s_per_wall_s is the headline scaling metric.
+	b.Run("10k-par2", func(b *testing.B) {
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 2, true)
+	})
+	b.Run("10k-par4", func(b *testing.B) {
+		benchLargeField(b, 100, 100, 4, 2*time.Second, 4, true)
 	})
 	b.Run("smoke", func(b *testing.B) {
-		benchLargeField(b, 30, 30, 2, time.Second, 1)
+		benchLargeField(b, 30, 30, 2, time.Second, 1, false)
 	})
 }
 

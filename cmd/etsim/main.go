@@ -11,6 +11,13 @@
 //	etsim -exp all             # everything
 //	etsim -exp all -parallel 8 # same results, sweeps fanned over 8 workers
 //
+// Engines (serial is the byte-identical reference):
+//
+//	etsim -exp fig4 -shards 4           # sharded engine, results identical to serial
+//	etsim -exp fig4 -parallel-shards 4  # free-running shard goroutines: statistically
+//	                                    # equivalent, deterministic per (seed, shards);
+//	                                    # exits nonzero if any run violates lookahead
+//
 // Fault injection:
 //
 //	etsim -exp chaos                          # fault-matrix suite, invariant-checked
@@ -65,6 +72,7 @@ type config struct {
 	checkInv    bool
 	selfProfile bool
 	shards      int
+	parShards   int
 	stdout      io.Writer
 	stderr      io.Writer
 }
@@ -86,6 +94,7 @@ func main() {
 	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
 	flag.BoolVar(&cfg.selfProfile, "selfprofile", false, "profile the scheduler: per-subsystem event counts and wall time, printed after the run (and exported with -metrics-out)")
 	flag.IntVar(&cfg.shards, "shards", 1, "scheduler shards per run: split each run's event engine into N spatial regions merged deterministically; results and traces are identical at any setting")
+	flag.IntVar(&cfg.parShards, "parallel-shards", 0, "free-running parallel shard goroutines per run (0 = off): shards execute concurrently under a conservative lookahead barrier; results are statistically equivalent to serial (not byte-identical) and deterministic per (seed, shard count); takes precedence over -shards")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs per sweep (0 = one per CPU, 1 = serial); results are identical at any setting")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -177,6 +186,8 @@ func run(cfg config) error {
 		eval.DrainSeries()
 		eval.SetProgressWriter(nil)
 		eval.SetSelfProfile(nil)
+		eval.SetShardHealth(nil)
+		eval.SetParallelShards(0)
 	}()
 	if cfg.progress {
 		eval.SetProgressWriter(cfg.stderr)
@@ -213,6 +224,12 @@ func run(cfg config) error {
 		eval.SetSelfProfile(prof)
 	}
 	eval.SetShards(cfg.shards)
+	eval.SetParallelShards(cfg.parShards)
+	var shardHealth *envirotrack.ShardHealth
+	if cfg.shards > 1 || cfg.parShards > 1 {
+		shardHealth = envirotrack.NewShardHealth()
+		eval.SetShardHealth(shardHealth)
+	}
 
 	chaosSched, err := envirotrack.ParseChaosSchedule(cfg.chaosSpec)
 	if err != nil {
@@ -342,6 +359,14 @@ func run(cfg config) error {
 		}
 		printSelfProfile(cfg.stderr, prof)
 	}
+	if shardHealth != nil {
+		if reg != nil {
+			envirotrack.ExportShardHealth(reg, shardHealth)
+		}
+		if cfg.selfProfile {
+			printShardHealth(cfg.stderr, shardHealth)
+		}
+	}
 	if reg != nil {
 		if err := writeMetrics(reg, cfg.metricsOut); err != nil {
 			return err
@@ -411,6 +436,27 @@ func printSelfProfile(w io.Writer, prof *envirotrack.SelfProfile) {
 		}
 		fmt.Fprintf(w, "%-10d %12d %12v %6.1f%%\n",
 			st.Shard, st.Events, time.Duration(st.WallNanos).Round(time.Microsecond), pct)
+	}
+}
+
+// printShardHealth renders the sharded runs' boundary-protocol accounting
+// on w (stderr, alongside the self-profile): per shard pair the mailbox
+// frame count and the tightest delivery slack over the sending shard's
+// committed horizon, plus the lookahead-violation total — which is always
+// zero here, because a parallel run with violations already failed.
+func printShardHealth(w io.Writer, h *envirotrack.ShardHealth) {
+	snap := h.Snapshot()
+	if snap.Runs == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nshard boundary health (%d sharded runs, %d boundary frames, %d lookahead violations):\n",
+		snap.Runs, snap.BoundaryFrames, snap.LookaheadViolations)
+	if len(snap.Pairs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-10s %12s %14s\n", "pair", "frames", "min slack")
+	for _, p := range snap.Pairs {
+		fmt.Fprintf(w, "%3d -> %-3d %12d %14v\n", p.From, p.To, p.Frames, p.MinSlack)
 	}
 }
 

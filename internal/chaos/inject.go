@@ -34,6 +34,17 @@ type Injector struct {
 // loss, ramp, partition, or duplication faults (attaching it always is
 // harmless).
 func NewInjector(sched *simtime.Scheduler, sc Schedule, hooks Hooks) (*Injector, error) {
+	return NewInjectorRouted(func(int) *simtime.Scheduler { return sched }, sc, hooks)
+}
+
+// NewInjectorRouted is NewInjector with per-victim event routing: each
+// crash/restore callback is registered on the scheduler schedFor returns
+// for the victim node. A sharded network routes a victim's faults onto
+// the shard owning the victim, so in a free-running parallel run the
+// callback executes on the goroutine that owns the mote's state. Routing
+// happens at setup time (before any event fires), so in deterministic
+// mode it does not change the global (at, seq) firing order.
+func NewInjectorRouted(schedFor func(node int) *simtime.Scheduler, sc Schedule, hooks Hooks) (*Injector, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,6 +57,7 @@ func NewInjector(sched *simtime.Scheduler, sc Schedule, hooks Hooks) (*Injector,
 	in := &Injector{sc: sc, hooks: hooks}
 	for _, c := range sc.Crashes {
 		c := c
+		sched := schedFor(c.Node)
 		sched.AtOwned(c.At, simtime.OwnerChaos, func() { in.hooks.Fail(c.Node) })
 		if c.For > 0 {
 			sched.AtOwned(c.At+c.For, simtime.OwnerChaos, func() { in.hooks.Restore(c.Node) })

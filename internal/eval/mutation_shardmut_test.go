@@ -63,3 +63,16 @@ func TestShardMutationTripsLookaheadCounter(t *testing.T) {
 		t.Error("skewed build produced no lookahead violations: the counter cannot detect its target bug")
 	}
 }
+
+// TestShardMutationHardFailsParallelRun proves the free-running parallel
+// engine refuses to deliver a result built on a broken lookahead: under
+// the shardmut skew, boundary deliveries land before the window barrier,
+// and Scenario.Run must surface that as an error rather than return
+// statistics from a run whose conservative-execution premise was
+// violated.
+func TestShardMutationHardFailsParallelRun(t *testing.T) {
+	_, err := Run(Scenario{Seed: 7, ParallelShards: 4})
+	if err == nil {
+		t.Fatal("parallel run with skewed boundary deliveries returned no error: lookahead violations must hard-fail the run")
+	}
+}

@@ -23,7 +23,9 @@ var obsCfg struct {
 	runs        *obs.Counter // optional runs-completed counter
 	perReceiver bool
 	selfProfile *envirotrack.SelfProfile
+	shardHealth *envirotrack.ShardHealth
 	shards      int
+	parallel    int
 }
 
 // SetShards makes every subsequent Run execute on a spatially sharded
@@ -34,6 +36,19 @@ func SetShards(n int) {
 	obsCfg.mu.Lock()
 	defer obsCfg.mu.Unlock()
 	obsCfg.shards = n
+}
+
+// SetParallelShards makes every subsequent Run execute on the
+// free-running parallel engine with k shard goroutines (see
+// envirotrack.WithParallelShards); k < 2 restores the configuration
+// chosen by SetShards. Unlike SetShards, parallel results are not
+// byte-identical to serial — they are statistically equivalent, which
+// the equivalence battery asserts — but they stay deterministic per
+// (seed, shard count). Takes precedence over SetShards.
+func SetParallelShards(k int) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.parallel = k
 }
 
 // SetPerReceiverDelivery makes every subsequent Run use the radio medium's
@@ -80,6 +95,28 @@ func SetSelfProfile(p *envirotrack.SelfProfile) {
 	obsCfg.selfProfile = p
 }
 
+// SetShardHealth attaches a boundary-health aggregator to every
+// subsequent Run; nil disables. Each sharded run folds its boundary
+// accounting (per-pair mailbox frames, minimum delivery slack, lookahead
+// violations) into the aggregator when it finishes; serial runs
+// contribute nothing.
+func SetShardHealth(h *envirotrack.ShardHealth) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.shardHealth = h
+}
+
+// observeShardHealth folds one finished run into the configured
+// boundary-health aggregator, if any.
+func observeShardHealth(net *envirotrack.Network) {
+	obsCfg.mu.Lock()
+	h := obsCfg.shardHealth
+	obsCfg.mu.Unlock()
+	if h != nil {
+		h.Observe(net)
+	}
+}
+
 // SetSeriesCadence makes every subsequent Run sample a health time series
 // on the given sim-time cadence, collected via DrainSeries; 0 disables.
 func SetSeriesCadence(d time.Duration) {
@@ -115,13 +152,15 @@ func observeRun(sc Scenario, checker *envirotrack.InvariantChecker) (opts []envi
 	obsCfg.mu.Lock()
 	sink, metrics, cadence, runs := obsCfg.sink, obsCfg.metrics, obsCfg.cadence, obsCfg.runs
 	perReceiver, selfProfile := obsCfg.perReceiver, obsCfg.selfProfile
-	shards := obsCfg.shards
+	shards, parallel := obsCfg.shards, obsCfg.parallel
 	obsCfg.mu.Unlock()
 
 	if perReceiver {
 		opts = append(opts, envirotrack.WithPerReceiverDelivery())
 	}
-	if shards > 1 {
+	if parallel > 1 {
+		opts = append(opts, envirotrack.WithParallelShards(parallel))
+	} else if shards > 1 {
 		opts = append(opts, envirotrack.WithShards(shards))
 	}
 	if selfProfile != nil {

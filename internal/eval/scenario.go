@@ -88,6 +88,11 @@ type Scenario struct {
 	// CheckInvariants attaches a protocol invariant checker to the run;
 	// proven violations land in RunResult.Violations.
 	CheckInvariants bool
+	// ParallelShards > 1 executes the run on the free-running parallel
+	// engine with that many shard goroutines (statistically equivalent to
+	// serial, not byte-identical; see RunEquivalence). It overrides the
+	// package-level SetShards/SetParallelShards configuration.
+	ParallelShards int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -189,6 +194,9 @@ func Run(sc Scenario) (RunResult, error) {
 	checker := checkerFor(sc)
 	obsOpts, onNet, obsDone := observeRun(sc, checker)
 	opts = append(opts, obsOpts...)
+	if sc.ParallelShards > 1 {
+		opts = append(opts, envirotrack.WithParallelShards(sc.ParallelShards))
+	}
 	net, err := envirotrack.New(opts...)
 	if err != nil {
 		return RunResult{}, err
@@ -225,9 +233,13 @@ func Run(sc Scenario) (RunResult, error) {
 		if !ok {
 			return
 		}
-		tr.At = net.Now()
+		// Node-local time: under the free-running parallel engine the
+		// callback runs on the pursuer's shard goroutine, whose clock leads
+		// the committed global clock by up to one lookahead window.
+		now := pursuer.Now()
+		tr.At = now
 		reports = append(reports, tr)
-		track.Record(net.Now(), target.PositionAt(net.Now()), tr.Loc)
+		track.Record(now, target.PositionAt(now), tr.Loc)
 	})
 
 	if sc.CrossTraffic {
@@ -241,6 +253,7 @@ func Run(sc Scenario) (RunResult, error) {
 	if err := net.Run(duration + settle); err != nil {
 		return RunResult{}, err
 	}
+	observeShardHealth(net)
 
 	res := RunResult{
 		Scenario: sc,

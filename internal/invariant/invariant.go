@@ -682,13 +682,25 @@ func (c *Checker) checkReport(ev obs.Event) {
 	// teardown are exempt: a restored "zombie" member has no receive
 	// timer until the next heartbeat, which a leaderless label never
 	// sends — a protocol wart, not a checker target.
-	if gone, ok := c.leaderGone[mem.label]; ok && ev.At-gone > c.cfg.TeardownGrace {
-		if fault, faulted := c.lastFault[ev.Mote]; !faulted || fault < gone {
-			c.record(Violation{
-				At: ev.At, Invariant: ReportAfterTeardown, Label: mem.label, Mote: ev.Mote, Run: ev.Run,
-				Detail: fmt.Sprintf("member report %v after label %q lost its last leader (grace %v)",
-					ev.At-gone, mem.label, c.cfg.TeardownGrace),
-			})
+	if gone, ok := c.leaderGone[mem.label]; ok {
+		// A mote may legally join a leaderless label *after* the teardown:
+		// the non-member wait timer remembers a nearby label for
+		// WaitFactor x heartbeat (4.2x, Section 6.2) after its last heard
+		// heartbeat, which outlives the leader's departure. Such a joiner's
+		// notice clock starts at its own join — its receive timer, armed at
+		// the join, still bounds how long it can keep reporting.
+		ref := gone
+		if mem.since > ref {
+			ref = mem.since
+		}
+		if ev.At-ref > c.cfg.TeardownGrace {
+			if fault, faulted := c.lastFault[ev.Mote]; !faulted || fault < ref {
+				c.record(Violation{
+					At: ev.At, Invariant: ReportAfterTeardown, Label: mem.label, Mote: ev.Mote, Run: ev.Run,
+					Detail: fmt.Sprintf("member report %v after label %q lost its last leader (grace %v)",
+						ev.At-ref, mem.label, c.cfg.TeardownGrace),
+				})
+			}
 		}
 	}
 	// I5: gap since the previous report (or the join) of a continuously

@@ -12,6 +12,18 @@
 // scheduler's typed-payload API (no closure captures), spatial queries
 // append into reusable scratch, and cell buckets are kept id-sorted at
 // insert so range queries merge instead of sorting per call.
+//
+// Execution contexts: all mutable send-path state (RNG, stats, obs bus,
+// record pools, airtime memo, frame sequence) lives in a shardCtx. The
+// serial and deterministic-sharded engines use a single context (ctx0);
+// the free-running parallel engine (EnableParallel) gives every shard its
+// own, so shard goroutines never share a draw stream, a pool, or a
+// counter. In parallel mode CSMA occupancy is shard-local: a cross-shard
+// frame does not occupy or collide at remote receivers — its target
+// receptions cross through per-pair outboxes drained at the window
+// barrier (FlushBoundary), with loss drawn on the sender's stream at send
+// time. That approximation is what the statistical-equivalence battery in
+// internal/eval validates against the deterministic reference.
 package radio
 
 import (
@@ -71,7 +83,9 @@ type Frame struct {
 	// ID is the medium-stamped transmission id, assigned when the frame
 	// actually goes on the air (CSMA-deferred copies are stamped at
 	// retransmission, chaos duplicates get distinct ids). 1-based; 0
-	// means not yet transmitted.
+	// means not yet transmitted. In parallel mode the shard index is
+	// packed into the top 16 bits so ids stay unique across shard-local
+	// counters.
 	ID uint64
 }
 
@@ -126,7 +140,9 @@ type Receiver func(Frame)
 // contract that keeps nominal runs bit-identical: with no injector
 // attached the medium draws exactly the same RNG sequence as before the
 // hook existed, and an attached injector only adds draws when
-// DuplicateProb returns > 0.
+// DuplicateProb returns > 0. In parallel mode the methods are called from
+// concurrent shard goroutines, so implementations must be read-only over
+// immutable schedule data (internal/chaos's injector is).
 type FaultInjector interface {
 	// LossProb returns the effective iid per-receiver loss probability at
 	// sim time now, given the configured base probability.
@@ -144,8 +160,58 @@ type FaultInjector interface {
 // it and restores nominal behaviour.
 func (m *Medium) SetFaultInjector(fi FaultInjector) { m.faults = fi }
 
+// shardCtx is one execution context's mutable send-path state: the RNG
+// stream, stats accumulator, obs bus, record pools and arenas, airtime
+// memo, frame-id counter, and (parallel mode only) the cross-shard
+// outboxes. The serial and deterministic-sharded engines run everything
+// through the medium's embedded ctx0; the parallel engine owns one
+// shardCtx per shard so nothing mutable is shared between shard
+// goroutines.
+type shardCtx struct {
+	m     *Medium
+	shard int32
+	sched *simtime.Scheduler
+	rng   *rand.Rand
+	stats *trace.Stats
+	bus   *obs.Bus
+
+	// Free lists pooling the per-frame records of the send path. Refills
+	// come from context-local arenas, so a run's records occupy contiguous
+	// blocks instead of scattered heap objects.
+	rxFree  *reception
+	txFree  *transmission
+	psFree  *pendingSend
+	dbFree  *deliveryBatch
+	ceFree  *crossEvent
+	rxArena arena.Arena[reception]
+	txArena arena.Arena[transmission]
+	psArena arena.Arena[pendingSend]
+	dbArena arena.Arena[deliveryBatch]
+	ceArena arena.Arena[crossEvent]
+
+	// Airtime memo for the handful of fixed frame sizes a run uses.
+	airtimeBits [8]int
+	airtimeDur  [8]time.Duration
+	airtimeN    int
+
+	// frameSeq numbers actual transmissions (Frame.ID). Stamped at
+	// transmission commit in trySend — after CSMA deferral — so the
+	// counter advances identically on the batched and per-receiver
+	// delivery paths and ids are deterministic per run.
+	frameSeq uint64
+
+	// out[j] buffers this shard's cross-shard target receptions destined
+	// for shard j during the current parallel window; FlushBoundary drains
+	// it at the barrier. Nil outside parallel mode.
+	out [][]crossRec
+
+	// violations counts this shard's conservative-lookahead violations in
+	// parallel mode (det mode accounts on the medium).
+	violations uint64
+}
+
 // Medium is the shared channel. It is driven entirely by the simulation
-// scheduler and is not safe for concurrent use.
+// scheduler; outside parallel mode it is not safe for concurrent use.
 //
 // Topology is append-only: nodes register once via AddNode and never
 // move. Spatial queries run against a uniform-grid spatial hash with cell
@@ -154,9 +220,6 @@ func (m *Medium) SetFaultInjector(fi FaultInjector) { m.faults = fi }
 type Medium struct {
 	sched  *simtime.Scheduler
 	params Params
-	rng    *rand.Rand
-	stats  *trace.Stats
-	bus    *obs.Bus
 
 	nodes map[NodeID]*nodeState
 	order []NodeID // node ids, kept ascending by insertion-time merge
@@ -173,37 +236,22 @@ type Medium struct {
 	cellSize float64
 	// neighbors caches Neighbors results per node. AddNode invalidates it
 	// granularly: only entries of nodes within CommRadius of the new node
-	// (the only lists the newcomer can appear in) are dropped.
+	// (the only lists the newcomer can appear in) are dropped. A parallel
+	// run pre-resolves every entry (PrebuildNeighbors) so the map is
+	// read-only while shard goroutines execute.
 	neighbors map[NodeID][]NodeID
 
-	// Query scratch, reused across calls (the medium is single-threaded).
+	// Query scratch, reused across calls (spatial queries run on the
+	// coordinator/setup path, never concurrently).
 	queryBuckets [][]cellEntry
 	queryCur     []int
 	scratchIDs   []NodeID
 
-	// Free lists pooling the per-frame records of the send path. Refills
-	// come from run-local arenas, so a run's records occupy contiguous
-	// blocks instead of scattered heap objects; each parallel sweep worker
-	// owns its medium and therefore its arenas — nothing is shared.
-	rxFree  *reception
-	txFree  *transmission
-	psFree  *pendingSend
-	dbFree  *deliveryBatch
-	rxArena arena.Arena[reception]
-	txArena arena.Arena[transmission]
-	psArena arena.Arena[pendingSend]
-	dbArena arena.Arena[deliveryBatch]
-
-	// Airtime memo for the handful of fixed frame sizes a run uses.
-	airtimeBits [8]int
-	airtimeDur  [8]time.Duration
-	airtimeN    int
-
-	// frameSeq numbers actual transmissions (Frame.ID). Stamped at
-	// transmission commit in trySend — after CSMA deferral — so the
-	// counter advances identically on the batched and per-receiver
-	// delivery paths and ids are deterministic per run.
-	frameSeq uint64
+	// ctx0 is the single execution context of the serial and
+	// deterministic-sharded engines; parCtxs (nil outside parallel mode)
+	// are the per-shard contexts of the free-running parallel engine.
+	ctx0    shardCtx
+	parCtxs []*shardCtx
 
 	// Spatial sharding (SetSharding). shardScheds routes each frame's
 	// medium events — CSMA retries, delivery batches, receptions, tx-done
@@ -266,7 +314,7 @@ type reception struct {
 	lost      bool // iid loss, drawn at schedule time
 	inList    bool
 	hasEvent  bool
-	m         *Medium
+	sc        *shardCtx
 	dst       *nodeState
 	f         Frame
 	tx        *transmission
@@ -279,7 +327,7 @@ type reception struct {
 // timestamp, later seq) and recycles the record.
 type transmission struct {
 	delivered int
-	m         *Medium
+	sc        *shardCtx
 	f         Frame
 	pos       geom.Point
 	next      *transmission
@@ -287,7 +335,7 @@ type transmission struct {
 
 // pendingSend is a CSMA-deferred frame awaiting its backoff timer. Pooled.
 type pendingSend struct {
-	m       *Medium
+	sc      *shardCtx
 	f       Frame
 	attempt int
 	next    *pendingSend
@@ -301,10 +349,38 @@ type pendingSend struct {
 // block — and folds the trailing undelivered check in at the end, so
 // traces are byte-identical at O(receivers) fewer heap events. Pooled.
 type deliveryBatch struct {
-	m    *Medium
+	sc   *shardCtx
 	tx   *transmission
 	rxs  []*reception
 	next *deliveryBatch
+}
+
+// crossRec is one cross-shard target reception buffered in the sending
+// shard's outbox during a parallel window: the loss outcome is already
+// drawn (on the sender's stream, in ascending receiver-id order), so only
+// the receiver-side occupancy, accounting, and callback remain to run on
+// the receiving shard. start/end span the frame's airtime at the receiver
+// so FlushBoundary can insert it into the receiver's channel-occupancy
+// list for collision detection.
+type crossRec struct {
+	dst        *nodeState
+	f          Frame
+	start, end time.Duration
+	at         time.Duration
+	lost       bool
+}
+
+// crossEvent is the pooled receiver-shard form of a crossRec, scheduled
+// by FlushBoundary onto the receiving shard's heap at the delivery time.
+// rx is the frame's occupancy record in the receiver's in-flight list;
+// its corrupted flag resolves at delivery.
+type crossEvent struct {
+	sc   *shardCtx
+	dst  *nodeState
+	f    Frame
+	rx   *reception
+	lost bool
+	next *crossEvent
 }
 
 // New creates a medium on the given scheduler. rng must not be nil; stats
@@ -315,16 +391,19 @@ func New(s *simtime.Scheduler, p Params, rng *rand.Rand, stats *trace.Stats) *Me
 	if cellSize <= 0 {
 		cellSize = 1
 	}
-	return &Medium{
+	m := &Medium{
 		sched:     s,
 		params:    p,
-		rng:       rng,
-		stats:     stats,
 		nodes:     make(map[NodeID]*nodeState),
 		cells:     make(map[cellKey][]cellEntry),
 		cellSize:  cellSize,
 		neighbors: make(map[NodeID][]NodeID),
 	}
+	m.ctx0.m = m
+	m.ctx0.sched = s
+	m.ctx0.rng = rng
+	m.ctx0.stats = stats
+	return m
 }
 
 // Params returns the medium configuration (with defaults applied).
@@ -333,8 +412,9 @@ func (m *Medium) Params() Params {
 }
 
 // SetObserver attaches the observability bus the medium emits frame
-// events through. A nil bus disables emission.
-func (m *Medium) SetObserver(bus *obs.Bus) { m.bus = bus }
+// events through. A nil bus disables emission. In parallel mode the
+// per-shard buses passed to EnableParallel take precedence.
+func (m *Medium) SetObserver(bus *obs.Bus) { m.ctx0.bus = bus }
 
 // SetSharding attaches the medium to a spatially sharded scheduler: each
 // frame's medium events are scheduled on the shard owning the sending
@@ -348,6 +428,7 @@ func (m *Medium) SetObserver(bus *obs.Bus) { m.bus = bus }
 func (m *Medium) SetSharding(scheds []*simtime.Scheduler, shardOfPos func(geom.Point) int32) {
 	if len(scheds) == 0 {
 		m.shardScheds, m.shardOfPos, m.shardMail = nil, nil, nil
+		m.parCtxs = nil
 		m.lookaheadViolations = 0
 		for _, n := range m.nodes {
 			n.shard = 0
@@ -360,6 +441,66 @@ func (m *Medium) SetSharding(scheds []*simtime.Scheduler, shardOfPos func(geom.P
 	m.lookaheadViolations = 0
 	for _, n := range m.nodes {
 		n.shard = shardOfPos(n.pos)
+	}
+}
+
+// ShardRuntime carries one shard's execution resources for a parallel
+// (free-running) run: the shard's deterministic RNG stream (derived via
+// simtime.ShardSeed), its private stats accumulator, and its buffered
+// observability lane (nil when the run is unobserved).
+type ShardRuntime struct {
+	RNG   *rand.Rand
+	Stats *trace.Stats
+	Bus   *obs.Bus
+}
+
+// EnableParallel switches the medium into free-running parallel mode:
+// every shard gets its own execution context — RNG stream, stats, obs
+// lane, record pools, frame-id counter, and cross-shard outboxes — so
+// shard goroutines share no mutable send-path state. SetSharding must
+// have been called first, and rts must supply one runtime per shard.
+// Before the shard workers start the owner must call PrebuildNeighbors
+// (after the last AddNode) so spatial lookups are read-only during the
+// run.
+func (m *Medium) EnableParallel(rts []ShardRuntime) {
+	k := len(m.shardScheds)
+	if k == 0 || len(rts) != k {
+		panic("radio: EnableParallel needs SetSharding and one ShardRuntime per shard")
+	}
+	m.parCtxs = make([]*shardCtx, k)
+	for i := range rts {
+		m.parCtxs[i] = &shardCtx{
+			m:     m,
+			shard: int32(i),
+			sched: m.shardScheds[i],
+			rng:   rts[i].RNG,
+			stats: rts[i].Stats,
+			bus:   rts[i].Bus,
+			out:   make([][]crossRec, k),
+		}
+	}
+}
+
+// Parallel reports whether the medium runs per-shard execution contexts
+// (free-running parallel mode).
+func (m *Medium) Parallel() bool { return m.parCtxs != nil }
+
+// ctxOf resolves the execution context owning a shard: the shard's own
+// context in parallel mode, the shared ctx0 otherwise.
+func (m *Medium) ctxOf(shard int32) *shardCtx {
+	if m.parCtxs != nil {
+		return m.parCtxs[shard]
+	}
+	return &m.ctx0
+}
+
+// PrebuildNeighbors resolves and caches the neighbor list of every
+// registered node. A parallel run calls it once before the shard workers
+// start: afterwards Neighbors is a pure map read, safe from concurrent
+// shard goroutines.
+func (m *Medium) PrebuildNeighbors() {
+	for _, id := range m.order {
+		m.Neighbors(id)
 	}
 }
 
@@ -406,21 +547,30 @@ func (m *Medium) BoundaryFrames() uint64 {
 // impossible — a frame cannot arrive before it has been on the air — so
 // the counter stays zero except under the shardmut mutation build, which
 // deliberately shaves the bound to prove the differential suite notices.
-func (m *Medium) LookaheadViolations() uint64 { return m.lookaheadViolations }
+// A parallel run treats any violation as fatal (the lookahead bound is
+// what licenses free-running); the network layer hard-fails the run.
+func (m *Medium) LookaheadViolations() uint64 {
+	total := m.lookaheadViolations
+	for _, sc := range m.parCtxs {
+		total += sc.violations
+	}
+	return total
+}
 
 // noteBoundary accounts one boundary target reception from shard `from`
 // to shard `to`, delivered at rxAt for a transmission committed at now;
 // bound is the frame's conservative lookahead (airtime + propagation).
-func (m *Medium) noteBoundary(from, to int32, rxAt, now, bound time.Duration) {
+// It reports whether the delivery violates the bound; the caller
+// attributes the violation (medium-global in det mode, per-shard in
+// parallel mode).
+func (m *Medium) noteBoundary(from, to int32, rxAt, now, bound time.Duration) bool {
 	st := &m.shardMail[int(from)*len(m.shardScheds)+int(to)]
 	slack := rxAt - now
 	if st.Frames == 0 || slack < st.MinSlack {
 		st.MinSlack = slack
 	}
 	st.Frames++
-	if slack < bound {
-		m.lookaheadViolations++
-	}
+	return slack < bound
 }
 
 // AddNode registers a stationary node. It returns an error if the id is
@@ -616,105 +766,154 @@ func (m *Medium) InRange(a, b NodeID) bool {
 }
 
 // Airtime returns the channel occupancy of a frame of the given size.
-// A run uses a handful of fixed frame sizes, so the division is memoized.
+// It is a pure computation (no memo) because protocol layers call it from
+// shard goroutines in parallel mode; the send path memoizes per execution
+// context instead.
 func (m *Medium) Airtime(bits int) time.Duration {
 	if bits <= 0 {
 		bits = DefaultFrameBits
 	}
-	for i := 0; i < m.airtimeN; i++ {
-		if m.airtimeBits[i] == bits {
-			return m.airtimeDur[i]
+	return time.Duration(float64(bits) / m.params.BitRate * float64(time.Second))
+}
+
+// airtime is the context-memoized airtime of the send path: a run uses a
+// handful of fixed frame sizes, so the division is memoized per context.
+func (sc *shardCtx) airtime(bits int) time.Duration {
+	for i := 0; i < sc.airtimeN; i++ {
+		if sc.airtimeBits[i] == bits {
+			return sc.airtimeDur[i]
 		}
 	}
-	d := time.Duration(float64(bits) / m.params.BitRate * float64(time.Second))
-	if m.airtimeN < len(m.airtimeBits) {
-		m.airtimeBits[m.airtimeN] = bits
-		m.airtimeDur[m.airtimeN] = d
-		m.airtimeN++
+	d := time.Duration(float64(bits) / sc.m.params.BitRate * float64(time.Second))
+	if sc.airtimeN < len(sc.airtimeBits) {
+		sc.airtimeBits[sc.airtimeN] = bits
+		sc.airtimeDur[sc.airtimeN] = d
+		sc.airtimeN++
 	}
 	return d
 }
 
+// nextFrameID stamps one transmission commit. Serial and deterministic
+// sharded runs use the raw per-run counter; parallel runs pack the shard
+// index into the top bits so shard-local counters stay globally unique.
+func (sc *shardCtx) nextFrameID() uint64 {
+	sc.frameSeq++
+	if sc.m.parCtxs != nil {
+		return uint64(sc.shard)<<48 | sc.frameSeq
+	}
+	return sc.frameSeq
+}
+
+// lossProbAt resolves the effective iid loss probability at sim time at.
+func (m *Medium) lossProbAt(at time.Duration) float64 {
+	p := m.params.LossProb
+	if m.faults != nil {
+		// The override changes only the threshold, never the draw count,
+		// so runs with and without step/ramp loss faults stay comparable
+		// draw-for-draw until the first divergent outcome.
+		p = m.faults.LossProb(at, p)
+	}
+	return p
+}
+
 // --- record pools ---
 
-func (m *Medium) acquireRX() *reception {
-	if rx := m.rxFree; rx != nil {
-		m.rxFree = rx.next
-		*rx = reception{m: m}
+func (sc *shardCtx) acquireRX() *reception {
+	if rx := sc.rxFree; rx != nil {
+		sc.rxFree = rx.next
+		*rx = reception{sc: sc}
 		return rx
 	}
-	rx := m.rxArena.New()
-	rx.m = m
+	rx := sc.rxArena.New()
+	rx.sc = sc
 	return rx
 }
 
-func (m *Medium) recycleRX(rx *reception) {
+func (sc *shardCtx) recycleRX(rx *reception) {
 	rx.dst = nil
 	rx.f = Frame{}
 	rx.tx = nil
-	rx.next = m.rxFree
-	m.rxFree = rx
+	rx.next = sc.rxFree
+	sc.rxFree = rx
 }
 
 // releaseFromList is called when a reception leaves its receiver's rx
 // list; the record recycles once the delivery event (if any) has fired.
-func (m *Medium) releaseFromList(rx *reception) {
+func releaseFromList(rx *reception) {
 	rx.inList = false
 	if !rx.hasEvent {
-		m.recycleRX(rx)
+		rx.sc.recycleRX(rx)
 	}
 }
 
-func (m *Medium) acquireTX() *transmission {
-	if tx := m.txFree; tx != nil {
-		m.txFree = tx.next
-		*tx = transmission{m: m}
+func (sc *shardCtx) acquireTX() *transmission {
+	if tx := sc.txFree; tx != nil {
+		sc.txFree = tx.next
+		*tx = transmission{sc: sc}
 		return tx
 	}
-	tx := m.txArena.New()
-	tx.m = m
+	tx := sc.txArena.New()
+	tx.sc = sc
 	return tx
 }
 
-func (m *Medium) recycleTX(tx *transmission) {
+func (sc *shardCtx) recycleTX(tx *transmission) {
 	tx.f = Frame{}
-	tx.next = m.txFree
-	m.txFree = tx
+	tx.next = sc.txFree
+	sc.txFree = tx
 }
 
-func (m *Medium) acquirePS() *pendingSend {
-	if ps := m.psFree; ps != nil {
-		m.psFree = ps.next
+func (sc *shardCtx) acquirePS() *pendingSend {
+	if ps := sc.psFree; ps != nil {
+		sc.psFree = ps.next
 		ps.next = nil
 		return ps
 	}
-	ps := m.psArena.New()
-	ps.m = m
+	ps := sc.psArena.New()
+	ps.sc = sc
 	return ps
 }
 
-func (m *Medium) recyclePS(ps *pendingSend) {
+func (sc *shardCtx) recyclePS(ps *pendingSend) {
 	ps.f = Frame{}
-	ps.next = m.psFree
-	m.psFree = ps
+	ps.next = sc.psFree
+	sc.psFree = ps
 }
 
-func (m *Medium) acquireBatch() *deliveryBatch {
-	if b := m.dbFree; b != nil {
-		m.dbFree = b.next
+func (sc *shardCtx) acquireBatch() *deliveryBatch {
+	if b := sc.dbFree; b != nil {
+		sc.dbFree = b.next
 		b.next = nil
 		return b
 	}
-	b := m.dbArena.New()
-	b.m = m
+	b := sc.dbArena.New()
+	b.sc = sc
 	return b
 }
 
-func (m *Medium) recycleBatch(b *deliveryBatch) {
+func (sc *shardCtx) recycleBatch(b *deliveryBatch) {
 	b.tx = nil
 	b.rxs = b.rxs[:0]
-	b.next = m.dbFree
-	m.dbFree = b
+	b.next = sc.dbFree
+	sc.dbFree = b
+}
+
+func (sc *shardCtx) acquireCE() *crossEvent {
+	if ce := sc.ceFree; ce != nil {
+		sc.ceFree = ce.next
+		ce.next = nil
+		return ce
+	}
+	ce := sc.ceArena.New()
+	ce.sc = sc
+	return ce
+}
+
+func (sc *shardCtx) recycleCE(ce *crossEvent) {
+	ce.dst = nil
+	ce.f = Frame{}
+	ce.next = sc.ceFree
+	sc.ceFree = ce
 }
 
 // Send transmits a frame from f.Src. The sender carrier-senses first:
@@ -731,7 +930,12 @@ func (m *Medium) Send(f Frame) {
 	// drawn only when the injector is live and returns a positive
 	// probability, so nominal runs consume an unchanged RNG sequence.
 	if m.faults != nil {
-		if p := m.faults.DuplicateProb(m.sched.Now()); p > 0 && m.rng.Float64() < p {
+		src, ok := m.nodes[f.Src]
+		if !ok {
+			return
+		}
+		sc := m.ctxOf(src.shard)
+		if p := m.faults.DuplicateProb(sc.sched.Now()); p > 0 && sc.rng.Float64() < p {
 			m.trySend(f, 0)
 		}
 	}
@@ -739,8 +943,7 @@ func (m *Medium) Send(f Frame) {
 
 // channelBusyUntil returns when the medium around the node goes idle: the
 // latest end among audible in-flight receptions and its own transmission.
-func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
-	now := m.sched.Now()
+func (m *Medium) channelBusyUntil(n *nodeState, now time.Duration) time.Duration {
 	busy := time.Duration(0)
 	if n.txBusyUntil > now {
 		busy = n.txBusyUntil
@@ -748,7 +951,7 @@ func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
 	kept := n.rx[:0]
 	for _, r := range n.rx {
 		if r.end <= now {
-			m.releaseFromList(r)
+			releaseFromList(r)
 			continue
 		}
 		kept = append(kept, r)
@@ -766,9 +969,9 @@ func (m *Medium) channelBusyUntil(n *nodeState) time.Duration {
 // pendingSendFire retries a CSMA-deferred frame when its backoff expires.
 func pendingSendFire(arg any) {
 	ps := arg.(*pendingSend)
-	m, f, attempt := ps.m, ps.f, ps.attempt
-	m.recyclePS(ps)
-	m.trySend(f, attempt)
+	sc, f, attempt := ps.sc, ps.f, ps.attempt
+	sc.recyclePS(ps)
+	sc.m.trySend(f, attempt)
 }
 
 func (m *Medium) trySend(f Frame, attempt int) {
@@ -782,17 +985,21 @@ func (m *Medium) trySend(f Frame, attempt int) {
 
 	// Every medium event of this frame — CSMA retry, delivery batch,
 	// receptions, tx-done — is scheduled on the shard owning the sender's
-	// region, so the sending shard's heap carries its own traffic.
+	// region, so the sending shard's heap carries its own traffic. The
+	// execution context supplies the RNG stream, stats, bus, and pools:
+	// ctx0 for serial/det runs, the sender's shard context in parallel
+	// mode.
+	sc := m.ctxOf(src.shard)
 	sched := m.sched
 	if len(m.shardScheds) > 0 {
 		sched = m.shardScheds[src.shard]
 	}
 
-	now := m.sched.Now()
+	now := sched.Now()
 	if !m.params.DisableCSMA && attempt < maxCSMAAttempts {
-		if busyUntil := m.channelBusyUntil(src); busyUntil > now {
-			backoff := time.Duration(m.rng.Float64() * float64(m.params.CSMASlot) * float64(uint(1)<<uint(min(attempt, 4))))
-			ps := m.acquirePS()
+		if busyUntil := m.channelBusyUntil(src, now); busyUntil > now {
+			backoff := time.Duration(sc.rng.Float64() * float64(m.params.CSMASlot) * float64(uint(1)<<uint(min(attempt, 4))))
+			ps := sc.acquirePS()
 			ps.f = f
 			ps.attempt = attempt + 1
 			sched.AtEventOwned(busyUntil+backoff, simtime.OwnerRadio, pendingSendFire, ps)
@@ -803,21 +1010,20 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	// Transmission commit: the frame is definitely going on the air now,
 	// so it gets its transmission id (deferred copies above carry ID 0
 	// until they come back through here).
-	m.frameSeq++
-	f.ID = m.frameSeq
+	f.ID = sc.nextFrameID()
 
 	start := now
 	if src.txBusyUntil > start {
 		start = src.txBusyUntil
 	}
-	airtime := m.Airtime(f.Bits)
+	airtime := sc.airtime(f.Bits)
 	end := start + airtime
 	src.txBusyUntil = end
 
-	if m.stats != nil {
-		m.stats.RecordSend(f.Kind, f.Bits)
+	if sc.stats != nil {
+		sc.stats.RecordSend(f.Kind, f.Bits)
 	}
-	if bus := m.bus; bus.Active() {
+	if bus := sc.bus; bus.Active() {
 		bus.Emit(obs.Event{
 			At: start, Type: obs.EvFrameSent, Mote: int(f.Src), Peer: int(f.Dst),
 			Pos: src.pos, Kind: f.Kind, Bits: f.Bits,
@@ -825,18 +1031,19 @@ func (m *Medium) trySend(f Frame, attempt int) {
 		})
 	}
 
-	tx := m.acquireTX()
+	tx := sc.acquireTX()
 	var batch *deliveryBatch
 	if !m.params.PerReceiverDelivery {
-		batch = m.acquireBatch()
+		batch = sc.acquireBatch()
 		batch.tx = tx
 	}
 	deliverAt := end + m.params.PropDelay
 	// lookahead is the conservative bound boundary deliveries must clear:
 	// one packet time. deliverAt - now ≥ airtime + PropDelay always holds
-	// (start ≥ now), which is exactly what lets a free-running conservative
-	// executor advance a shard to min(neighbor horizons) + lookahead.
+	// (start ≥ now), which is exactly what lets the free-running
+	// conservative executor advance a shard to the window edge.
 	lookahead := airtime + m.params.PropDelay
+	par := m.parCtxs != nil
 	crossesShard := false
 	intended := 0
 	// Neighbors is exactly the in-range receiver set in ascending id
@@ -854,11 +1061,47 @@ func (m *Medium) trySend(f Frame, attempt int) {
 			intended++
 		}
 		cross := len(m.shardScheds) > 0 && dst.shard != src.shard
+		if par && cross {
+			// Free-running parallel mode: CSMA occupancy is shard-local
+			// during the window, so a cross-shard frame cannot be sensed or
+			// collided with until the barrier. Target receptions cross at
+			// the window barrier: loss is drawn on the sender's stream here
+			// (still in ascending receiver-id order, so the draw sequence is
+			// reproducible) and the delivery is buffered in the per-pair
+			// outbox until FlushBoundary, which inserts the frame into the
+			// receiver's occupancy list so it collides there like a local
+			// frame. Non-target cross-shard receivers see no occupancy at
+			// all — that residual approximation is what the statistical
+			// equivalence battery validates.
+			if !isTarget {
+				continue
+			}
+			if m.noteBoundary(src.shard, dst.shard, deliverAt+shardMutSkew, now, lookahead) {
+				sc.violations++
+			}
+			lost := sc.rng.Float64() < m.lossProbAt(start)
+			if !lost {
+				// The sender-side delivered count cannot see a collision
+				// resolved later on the receiver's shard; a frame whose only
+				// receptions were cross-shard collisions is therefore not
+				// counted undelivered. Loss accounting at the receiver is
+				// exact.
+				tx.delivered++
+			}
+			sc.out[dst.shard] = append(sc.out[dst.shard], crossRec{
+				dst: dst, f: f,
+				start: start + shardMutSkew, end: end + shardMutSkew,
+				at: deliverAt + shardMutSkew, lost: lost,
+			})
+			continue
+		}
 		if isTarget && cross {
-			m.noteBoundary(src.shard, dst.shard, deliverAt+shardMutSkew, now, lookahead)
+			if m.noteBoundary(src.shard, dst.shard, deliverAt+shardMutSkew, now, lookahead) {
+				m.lookaheadViolations++
+			}
 			crossesShard = true
 		}
-		if rx := m.scheduleReception(dst, f, tx, batch, start, end, isTarget); rx != nil {
+		if rx := m.scheduleReception(sc, dst, f, tx, batch, start, end, now, isTarget); rx != nil {
 			// Per-receiver reference path: boundary receptions carry the
 			// shardmut skew (zero in nominal builds).
 			at := deliverAt
@@ -871,13 +1114,13 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	if intended == 0 {
 		// Nobody could ever receive it: record immediately. No target
 		// reception references tx, so it recycles here.
-		if m.stats != nil {
-			m.stats.RecordUndelivered(f.Kind)
+		if sc.stats != nil {
+			sc.stats.RecordUndelivered(f.Kind)
 		}
-		m.emitUndelivered(m.sched.Now(), f, src.pos)
-		m.recycleTX(tx)
+		sc.emitUndelivered(now, f, src.pos)
+		sc.recycleTX(tx)
 		if batch != nil {
-			m.recycleBatch(batch)
+			sc.recycleBatch(batch)
 		}
 		return
 	}
@@ -902,6 +1145,85 @@ func (m *Medium) trySend(f Frame, attempt int) {
 	sched.AtEventOwned(deliverAt, simtime.OwnerRadio, transmissionDone, tx)
 }
 
+// FlushBoundary drains every sending shard's cross-shard outboxes at a
+// parallel window barrier: each buffered target reception is inserted
+// into its receiver's channel-occupancy list (corrupting any overlapping
+// in-flight reception — boundary frames collide like local ones) and
+// scheduled as a crossEvent on the receiver's shard at its arrival time.
+// It returns the number of deliveries that landed before the barrier
+// time — conservative-lookahead violations, zero outside the shardmut
+// mutation build. Coordinator-only: all shard workers must be parked at
+// the barrier when it runs, which is also what makes touching the
+// receiver shard's occupancy lists and record pools here race-free.
+func (m *Medium) FlushBoundary(window time.Duration) uint64 {
+	var violations uint64
+	for _, sc := range m.parCtxs {
+		for to := range sc.out {
+			box := sc.out[to]
+			if len(box) == 0 {
+				continue
+			}
+			dstCtx := m.parCtxs[to]
+			for i := range box {
+				r := &box[i]
+				if r.at < window {
+					violations++
+				}
+				rx := dstCtx.acquireRX()
+				rx.start, rx.end = r.start, r.end
+				rx.hasEvent = true
+				m.occupyChannel(r.dst, rx, window)
+				ce := dstCtx.acquireCE()
+				ce.dst, ce.f, ce.rx, ce.lost = r.dst, r.f, rx, r.lost
+				dstCtx.sched.AtEventOwned(r.at, simtime.OwnerRadio, crossDeliver, ce)
+				*r = crossRec{}
+			}
+			sc.out[to] = box[:0]
+		}
+	}
+	m.lookaheadViolations += violations
+	return violations
+}
+
+// crossDeliver resolves one cross-shard reception on the receiving shard:
+// the iid loss outcome was drawn at send time on the sender's stream, and
+// collision corruption was accumulated on the occupancy record inserted
+// at the barrier, so only the resolution, receiver-side stats, emission,
+// and the callback run here. Local receptions still in flight before the
+// barrier may have delivered clean a window earlier than a serial run
+// would allow — that one-window asymmetry is part of the approximation
+// the statistical-equivalence battery validates.
+func crossDeliver(arg any) {
+	ce := arg.(*crossEvent)
+	sc, dst, f, rx, lost := ce.sc, ce.dst, ce.f, ce.rx, ce.lost
+	corrupted := rx.corrupted
+	rx.hasEvent = false
+	if !rx.inList {
+		sc.recycleRX(rx)
+	}
+	sc.recycleCE(ce)
+	switch {
+	case corrupted:
+		if sc.stats != nil {
+			sc.stats.RecordLoss(f.Kind, trace.LossCollision)
+		}
+		sc.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
+	case lost:
+		if sc.stats != nil {
+			sc.stats.RecordLoss(f.Kind, trace.LossRandom)
+		}
+		sc.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
+	default:
+		if sc.stats != nil {
+			sc.stats.RecordReceive(f.Kind)
+		}
+		sc.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
+		if dst.recv != nil {
+			dst.recv(f)
+		}
+	}
+}
+
 // batchDeliver resolves every target reception of one frame in ascending
 // receiver-id order, then the sender-side undelivered check. Each record's
 // pool bookkeeping happens before its receiver callback runs (callbacks
@@ -910,34 +1232,34 @@ func (m *Medium) trySend(f Frame, attempt int) {
 // batch records.
 func batchDeliver(arg any) {
 	b := arg.(*deliveryBatch)
-	m, tx := b.m, b.tx
+	sc, tx := b.sc, b.tx
 	for i, rx := range b.rxs {
 		b.rxs[i] = nil
-		m.deliverReception(rx)
+		deliverReception(rx)
 	}
 	b.rxs = b.rxs[:0]
 	if tx.delivered == 0 {
-		if m.stats != nil {
-			m.stats.RecordUndelivered(tx.f.Kind)
+		if sc.stats != nil {
+			sc.stats.RecordUndelivered(tx.f.Kind)
 		}
-		m.emitUndelivered(m.sched.Now(), tx.f, tx.pos)
+		sc.emitUndelivered(sc.sched.Now(), tx.f, tx.pos)
 	}
-	m.recycleTX(tx)
-	m.recycleBatch(b)
+	sc.recycleTX(tx)
+	sc.recycleBatch(b)
 }
 
 // transmissionDone runs the undelivered check after a frame's last
 // possible delivery and returns the transmission record to the pool.
 func transmissionDone(arg any) {
 	tx := arg.(*transmission)
-	m := tx.m
+	sc := tx.sc
 	if tx.delivered == 0 {
-		if m.stats != nil {
-			m.stats.RecordUndelivered(tx.f.Kind)
+		if sc.stats != nil {
+			sc.stats.RecordUndelivered(tx.f.Kind)
 		}
-		m.emitUndelivered(m.sched.Now(), tx.f, tx.pos)
+		sc.emitUndelivered(sc.sched.Now(), tx.f, tx.pos)
 	}
-	m.recycleTX(tx)
+	sc.recycleTX(tx)
 }
 
 // scheduleReception models the frame occupying the channel at the receiver
@@ -948,50 +1270,20 @@ func transmissionDone(arg any) {
 // schedule (trySend routes it to the sending shard's scheduler).
 // Non-target receivers still experience channel occupancy (their concurrent
 // receptions collide) but do not receive or account the frame.
-func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, batch *deliveryBatch, start, end time.Duration, isTarget bool) *reception {
-	rx := m.acquireRX()
+func (m *Medium) scheduleReception(sc *shardCtx, dst *nodeState, f Frame, tx *transmission, batch *deliveryBatch, start, end, now time.Duration, isTarget bool) *reception {
+	rx := sc.acquireRX()
 	rx.start, rx.end = start, end
-
-	if !m.params.DisableCollisions {
-		// Corrupt any overlapping in-flight receptions, and this one.
-		kept := dst.rx[:0]
-		for _, other := range dst.rx {
-			if other.end > m.sched.Now() || other.end >= start {
-				kept = append(kept, other)
-			} else {
-				m.releaseFromList(other)
-			}
-		}
-		for i := len(kept); i < len(dst.rx); i++ {
-			dst.rx[i] = nil
-		}
-		dst.rx = kept
-		for _, other := range dst.rx {
-			if other.start < end && start < other.end {
-				other.corrupted = true
-				rx.corrupted = true
-			}
-		}
-	}
-	rx.inList = true
-	dst.rx = append(dst.rx, rx)
+	m.occupyChannel(dst, rx, now)
 
 	if !isTarget {
 		return nil
 	}
 
-	lossProb := m.params.LossProb
-	if m.faults != nil {
-		// The override changes only the threshold, never the draw count,
-		// so runs with and without step/ramp loss faults stay comparable
-		// draw-for-draw until the first divergent outcome.
-		lossProb = m.faults.LossProb(start, lossProb)
-	}
 	// The loss draw stays here, at schedule time in ascending receiver-id
 	// order, on both delivery paths — RNG draw order is part of the traces'
 	// byte-identity contract. Chaos loss/partition/duplication faults are
 	// likewise applied per receiver regardless of batching.
-	rx.lost = m.rng.Float64() < lossProb
+	rx.lost = sc.rng.Float64() < m.lossProbAt(start)
 	rx.dst = dst
 	rx.f = f
 	rx.tx = tx
@@ -1003,18 +1295,48 @@ func (m *Medium) scheduleReception(dst *nodeState, f Frame, tx *transmission, ba
 	return rx
 }
 
+// occupyChannel inserts rx (spanning [rx.start, rx.end]) into dst's
+// in-flight reception list: entries that ended before now and before the
+// new frame's start are pruned, and every overlapping pair is corrupted
+// (the new frame and the in-flight one both lose). Callers set rx.start
+// and rx.end first.
+func (m *Medium) occupyChannel(dst *nodeState, rx *reception, now time.Duration) {
+	if !m.params.DisableCollisions {
+		kept := dst.rx[:0]
+		for _, other := range dst.rx {
+			if other.end > now || other.end >= rx.start {
+				kept = append(kept, other)
+			} else {
+				releaseFromList(other)
+			}
+		}
+		for i := len(kept); i < len(dst.rx); i++ {
+			dst.rx[i] = nil
+		}
+		dst.rx = kept
+		for _, other := range dst.rx {
+			if other.start < rx.end && rx.start < other.end {
+				other.corrupted = true
+				rx.corrupted = true
+			}
+		}
+	}
+	rx.inList = true
+	dst.rx = append(dst.rx, rx)
+}
+
 // receptionDone resolves one target reception on the per-receiver
 // reference path.
 func receptionDone(arg any) {
-	rx := arg.(*reception)
-	rx.m.deliverReception(rx)
+	deliverReception(arg.(*reception))
 }
 
 // deliverReception resolves one target reception at its arrival time:
 // collision corruption, iid loss, or delivery to the receiver callback.
 // Pool bookkeeping happens before the receiver callback runs, because the
 // callback may send frames that reenter the medium and prune rx lists.
-func (m *Medium) deliverReception(rx *reception) {
+func deliverReception(rx *reception) {
+	sc := rx.sc
 	dst, f, tx := rx.dst, rx.f, rx.tx
 	corrupted, lost := rx.corrupted, rx.lost
 	rx.hasEvent = false
@@ -1022,25 +1344,25 @@ func (m *Medium) deliverReception(rx *reception) {
 	rx.f = Frame{}
 	rx.tx = nil
 	if !rx.inList {
-		m.recycleRX(rx)
+		sc.recycleRX(rx)
 	}
 	switch {
 	case corrupted:
-		if m.stats != nil {
-			m.stats.RecordLoss(f.Kind, trace.LossCollision)
+		if sc.stats != nil {
+			sc.stats.RecordLoss(f.Kind, trace.LossCollision)
 		}
-		m.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
+		sc.emitAtReceiver(obs.EvFrameLost, dst, f, "collision")
 	case lost:
-		if m.stats != nil {
-			m.stats.RecordLoss(f.Kind, trace.LossRandom)
+		if sc.stats != nil {
+			sc.stats.RecordLoss(f.Kind, trace.LossRandom)
 		}
-		m.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
+		sc.emitAtReceiver(obs.EvFrameLost, dst, f, "random")
 	default:
 		tx.delivered++
-		if m.stats != nil {
-			m.stats.RecordReceive(f.Kind)
+		if sc.stats != nil {
+			sc.stats.RecordReceive(f.Kind)
 		}
-		m.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
+		sc.emitAtReceiver(obs.EvFrameReceived, dst, f, "")
 		if dst.recv != nil {
 			dst.recv(f)
 		}
@@ -1049,10 +1371,10 @@ func (m *Medium) deliverReception(rx *reception) {
 
 // emitAtReceiver publishes a reception-side frame event (received/lost)
 // at the receiving node.
-func (m *Medium) emitAtReceiver(t obs.EventType, dst *nodeState, f Frame, cause string) {
-	if bus := m.bus; bus.Active() {
+func (sc *shardCtx) emitAtReceiver(t obs.EventType, dst *nodeState, f Frame, cause string) {
+	if bus := sc.bus; bus.Active() {
 		bus.Emit(obs.Event{
-			At: m.sched.Now(), Type: t, Mote: int(dst.id), Peer: int(f.Src),
+			At: sc.sched.Now(), Type: t, Mote: int(dst.id), Peer: int(f.Src),
 			Pos: dst.pos, Kind: f.Kind, Bits: f.Bits, Cause: cause,
 			Origin: int(f.Corr.Origin), Seq: uint64(f.Corr.Seq), Frame: f.ID,
 		})
@@ -1060,8 +1382,8 @@ func (m *Medium) emitAtReceiver(t obs.EventType, dst *nodeState, f Frame, cause 
 }
 
 // emitUndelivered publishes a frame that reached no receiver.
-func (m *Medium) emitUndelivered(at time.Duration, f Frame, pos geom.Point) {
-	if bus := m.bus; bus.Active() {
+func (sc *shardCtx) emitUndelivered(at time.Duration, f Frame, pos geom.Point) {
+	if bus := sc.bus; bus.Active() {
 		bus.Emit(obs.Event{
 			At: at, Type: obs.EvFrameUndelivered, Mote: int(f.Src), Peer: int(f.Dst),
 			Pos: pos, Kind: f.Kind, Bits: f.Bits,

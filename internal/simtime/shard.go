@@ -33,12 +33,25 @@
 // heaps stay small and cache-dense, and cross-shard traffic is classified
 // and bounded — while the executor interleaves shards deterministically.
 // Free-running windows become possible once randomness is partitioned
-// per shard (counter-based, mote-keyed draws); the horizon bookkeeping
-// here is written so that executor can slot in without changing the
-// scheduling API.
+// per shard; EnableParallel switches the group into exactly that mode.
+// In parallel mode each shard owns a local clock, sequence counter, and
+// (via the network layer) RNG stream, and RunParallel executes the shards
+// on separate goroutines in conservative lookahead windows: every shard
+// fires all of its events inside [T, T+delta), a barrier drains the
+// cross-shard mailboxes (whose entries are guaranteed to land at or after
+// T+delta by the radio lookahead bound), and the window advances. This is
+// a lower-bound-on-timestamp (LBTS) protocol with a constant lookahead:
+// results are no longer byte-identical to serial — they are statistically
+// equivalent, which the internal/eval equivalence battery asserts at the
+// distribution level.
 package simtime
 
-import "time"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // ShardMailboxStat accounts one ordered shard pair's cross-shard
 // scheduling traffic: events scheduled onto shard `to` while shard `from`
@@ -78,6 +91,19 @@ type ShardGroup struct {
 	// mail is the k x k cross-shard mailbox accounting matrix, indexed
 	// from*k + to.
 	mail []ShardMailboxStat
+
+	// par marks the group as free-running parallel: shards keep local
+	// clocks and sequence counters, and RunParallel executes them on
+	// separate goroutines in conservative lookahead windows. parStop is
+	// the parallel-mode stop flag (atomic, because any shard goroutine
+	// may request a stop while others are mid-window).
+	par     bool
+	parStop atomic.Bool
+	// windowCap, when set, bounds RunParallel's idle skip: a window never
+	// extends past the earliest cap time at or after its start (barrier
+	// work such as series sampling stays on cadence). Called only on the
+	// coordinator between windows.
+	windowCap func(after time.Duration) (time.Duration, bool)
 }
 
 // NewShardGroup returns a group of k empty scheduler shards (k >= 1)
@@ -102,6 +128,18 @@ func NewShardGroup(k int) *ShardGroup {
 	return g
 }
 
+// EnableParallel switches the group into free-running parallel mode:
+// shards keep local clocks and sequence counters, and RunParallel
+// executes them on separate goroutines. It must be called before any
+// event is scheduled on any shard — mixing group-sequenced and
+// shard-sequenced events would leave the per-shard (at, seq) order
+// inconsistent with scheduling order.
+func (g *ShardGroup) EnableParallel() { g.par = true }
+
+// Parallel reports whether the group runs the free-running parallel
+// executor rather than the deterministic single-threaded merge.
+func (g *ShardGroup) Parallel() bool { return g.par }
+
 // Shards returns the number of shards in the group.
 func (g *ShardGroup) Shards() int { return len(g.shards) }
 
@@ -116,8 +154,19 @@ func (g *ShardGroup) Schedulers() []*Scheduler { return g.shards }
 // Now returns the group's (shared) virtual clock.
 func (g *ShardGroup) Now() time.Duration { return g.now }
 
-// Executed returns the number of events fired through the group.
-func (g *ShardGroup) Executed() uint64 { return g.executed }
+// Executed returns the number of events fired through the group. In
+// parallel mode the count is per-shard and summed here; call it only
+// between windows (e.g. after a run), not while shards are executing.
+func (g *ShardGroup) Executed() uint64 {
+	if g.par {
+		var total uint64
+		for _, s := range g.shards {
+			total += s.executed
+		}
+		return total
+	}
+	return g.executed
+}
 
 // Len returns the number of pending events across all shards.
 func (g *ShardGroup) Len() int {
@@ -177,11 +226,15 @@ func (g *ShardGroup) pickMin() (int, event) {
 }
 
 // stepShard pops and fires the head event of shard i, advancing the
-// shared clock and the shard's committed horizon.
+// shared clock and the shard's committed horizon. The shard-local clock
+// is kept in sync so that a parallel-mode group driven through the
+// single-threaded merge (Step from a Session, say) still gives callbacks
+// a correct local Now.
 func (g *ShardGroup) stepShard(i int, ev event) {
 	s := g.shards[i]
 	s.popTop()
 	g.now = ev.at
+	s.now = ev.at
 	g.horizons[i] = ev.at
 	g.executed++
 	g.executing = int32(i)
@@ -192,7 +245,7 @@ func (g *ShardGroup) stepShard(i int, ev event) {
 // Step fires the globally earliest pending event across all shards. It
 // reports whether an event was executed.
 func (g *ShardGroup) Step() bool {
-	if g.stopped {
+	if g.Stopped() {
 		return false
 	}
 	i, ev := g.pickMin()
@@ -209,7 +262,7 @@ func (g *ShardGroup) Step() bool {
 // the group was stopped.
 func (g *ShardGroup) RunUntil(deadline time.Duration) error {
 	for {
-		if g.stopped {
+		if g.Stopped() {
 			return ErrStopped
 		}
 		i, ev := g.pickMin()
@@ -218,11 +271,18 @@ func (g *ShardGroup) RunUntil(deadline time.Duration) error {
 		}
 		g.stepShard(i, ev)
 	}
-	if g.stopped {
+	if g.Stopped() {
 		return ErrStopped
 	}
 	if g.now < deadline {
 		g.now = deadline
+	}
+	if g.par {
+		for _, s := range g.shards {
+			if s.now < deadline {
+				s.now = deadline
+			}
+		}
 	}
 	return nil
 }
@@ -231,18 +291,207 @@ func (g *ShardGroup) RunUntil(deadline time.Duration) error {
 func (g *ShardGroup) Run() error {
 	for g.Step() {
 	}
-	if g.stopped {
+	if g.Stopped() {
 		return ErrStopped
 	}
 	return nil
 }
 
-// Stop halts the group: no further events fire.
-func (g *ShardGroup) Stop() { g.stopped = true }
+// windowJob is one lookahead window's work order for a shard worker.
+type windowJob struct {
+	limit     time.Duration
+	inclusive bool
+}
+
+// RunParallel executes the group's shards on separate goroutines in
+// conservative lookahead windows of width delta until the clock reaches
+// deadline: every shard fires all of its events inside the current
+// window, then the coordinator runs barrier (draining cross-shard
+// mailboxes, merging buffered observability lanes, sampling series) and
+// the window advances. delta must be a lower bound on the latency of any
+// cross-shard interaction — the radio's airtime+PropDelay bound — or the
+// barrier will observe already-late deliveries. A non-nil barrier error
+// aborts the run. The group must be in parallel mode (EnableParallel).
+//
+// The final window is inclusive of the deadline, matching RunUntil's
+// "fire events at <= deadline" semantics; barrier-drained deliveries
+// that land at exactly the deadline get cleanup windows of their own
+// until no shard holds an event at or before it.
+func (g *ShardGroup) RunParallel(deadline, delta time.Duration, barrier func(window time.Duration) error) error {
+	if !g.par {
+		panic("simtime: RunParallel on a group without EnableParallel")
+	}
+	if delta <= 0 {
+		panic("simtime: RunParallel needs a positive lookahead window")
+	}
+
+	// Within a window the shards are independent — cross-shard effects
+	// only materialize at the barrier — so any execution interleaving of
+	// the shard windows yields identical results (the byte-identical
+	// rerun test pins this). With one schedulable CPU there is no
+	// parallelism to buy, only preemption noise to pay: a worker
+	// goroutine descheduled mid-window stalls the whole barrier. Degrade
+	// gracefully to running every shard's window inline on the
+	// coordinator.
+	inline := runtime.GOMAXPROCS(0) == 1 || len(g.shards) == 1
+
+	// Persistent shard workers: one goroutine per shard beyond shard 0
+	// (which the coordinator runs inline), fed one windowJob per window.
+	// A run at the 10k-mote tier executes thousands of windows, so the
+	// per-window synchronization is two channel hops and a WaitGroup
+	// instead of fresh goroutine spawns.
+	var wg sync.WaitGroup
+	jobs := make([]chan windowJob, len(g.shards))
+	if !inline {
+		for i := 1; i < len(g.shards); i++ {
+			ch := make(chan windowJob, 1)
+			jobs[i] = ch
+			s := g.shards[i]
+			go func() {
+				for job := range ch {
+					s.runWindow(job.limit, job.inclusive)
+					wg.Done()
+				}
+			}()
+		}
+		defer func() {
+			for _, ch := range jobs {
+				if ch != nil {
+					close(ch)
+				}
+			}
+		}()
+	}
+
+	T := g.now
+	for {
+		if g.Stopped() {
+			return ErrStopped
+		}
+		W := T + delta
+		// Idle skip: at the window edge every mailbox is drained, so the
+		// globally earliest pending event M is a hard floor — no shard
+		// fires anything before it, and events fired from M onward cannot
+		// deliver across shards before M+delta. Advancing the window
+		// straight to M+delta (or the deadline when the heaps are empty)
+		// therefore preserves the conservative bound while skipping the
+		// empty windows whose barrier wakeups otherwise dominate sparse
+		// workloads — the 10k sweep fires once per SensePeriod, not once
+		// per delta.
+		if m, ok := g.minEventTime(); !ok {
+			W = deadline
+		} else if m > T {
+			W = m + delta
+		}
+		if g.windowCap != nil {
+			if c, ok := g.windowCap(T); ok && c < W {
+				if c < T+delta {
+					c = T + delta
+				}
+				W = c
+			}
+		}
+		last := false
+		if W >= deadline {
+			W, last = deadline, true
+		}
+		if inline {
+			for _, s := range g.shards {
+				s.runWindow(W, last)
+			}
+		} else {
+			wg.Add(len(g.shards) - 1)
+			for i := 1; i < len(g.shards); i++ {
+				jobs[i] <- windowJob{limit: W, inclusive: last}
+			}
+			g.shards[0].runWindow(W, last)
+			wg.Wait()
+		}
+		g.now = W
+		for i := range g.horizons {
+			g.horizons[i] = W
+		}
+		if barrier != nil {
+			if err := barrier(W); err != nil {
+				g.parStop.Store(true)
+				return err
+			}
+		}
+		if g.Stopped() {
+			return ErrStopped
+		}
+		if last && !g.anyEventAtOrBefore(deadline) {
+			return nil
+		}
+		T = W
+	}
+}
+
+// ShardSeed derives the RNG stream seed for one shard of a parallel run
+// from the run seed: the shard index advances a SplitMix64 counter
+// (golden-gamma increments) and the SplitMix64 finalizer mixes it, so
+// streams for different shards of the same run are decorrelated, every
+// (seed, shard) pair maps to the same stream at any shard count, and
+// shard 0 of a 2-way run draws the same stream as shard 0 of an 8-way
+// run. The serial engine keeps using the raw seed.
+func ShardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// SetWindowCap bounds the parallel executor's idle skip: no window ends
+// later than the earliest cap time at or after the window's start. The
+// network layer uses it to keep barrier-driven series samplers on their
+// exact cadence; nil removes the cap. Set it before RunParallel.
+func (g *ShardGroup) SetWindowCap(f func(after time.Duration) (time.Duration, bool)) {
+	g.windowCap = f
+}
+
+// minEventTime returns the earliest live event time across shards.
+// Coordinator-only (it drains tombstones).
+func (g *ShardGroup) minEventTime() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, s := range g.shards {
+		if ev, ok := s.peek(); ok && (!found || ev.at < min) {
+			min, found = ev.at, true
+		}
+	}
+	return min, found
+}
+
+// anyEventAtOrBefore reports whether any shard still holds a live event
+// at or before t. Coordinator-only (it drains tombstones).
+func (g *ShardGroup) anyEventAtOrBefore(t time.Duration) bool {
+	for _, s := range g.shards {
+		if ev, ok := s.peek(); ok && ev.at <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// Stop halts the group: no further events fire. In parallel mode it only
+// sets the atomic stop flag, so any goroutine (a shard callback, or a
+// session watcher reacting to an external stop request) may call it while
+// workers are mid-window; in deterministic mode it must be called from
+// the executing thread, like Scheduler.Stop.
+func (g *ShardGroup) Stop() {
+	if g.par {
+		g.parStop.Store(true)
+		return
+	}
+	g.stopped = true
+}
 
 // Stopped reports whether Stop has been called (on the group or any of
 // its shards).
-func (g *ShardGroup) Stopped() bool { return g.stopped }
+func (g *ShardGroup) Stopped() bool { return g.stopped || g.parStop.Load() }
 
 // SetProfile attaches a self-profile to every shard (nil detaches). When
 // the profile has a shard dimension (EnsureShards), each shard's events

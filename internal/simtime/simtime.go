@@ -169,11 +169,13 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{freeHead: -1}
 }
 
-// Now returns the current virtual time. Shards of a ShardGroup share one
-// clock, so every shard observes the same "now" regardless of which shard
-// executed the last event.
+// Now returns the current virtual time. Shards of a deterministic-merge
+// ShardGroup share one clock, so every shard observes the same "now"
+// regardless of which shard executed the last event. Shards of a parallel
+// group keep local clocks: a callback sees its own shard's event time,
+// which may differ from other shards' by up to the lookahead window.
 func (s *Scheduler) Now() time.Duration {
-	if g := s.group; g != nil {
+	if g := s.group; g != nil && !g.par {
 		return g.now
 	}
 	return s.now
@@ -234,7 +236,7 @@ func (s *Scheduler) push(ev event) {
 // returns what a Timer handle needs; handle-less callers discard it.
 func (s *Scheduler) schedule(at time.Duration, owner Owner, fn Callback, pfn EventFunc, arg any) (int32, uint32, time.Duration) {
 	var seq uint64
-	if g := s.group; g != nil {
+	if g := s.group; g != nil && !g.par {
 		// Group-shared sequence numbers keep (at, seq) a total order over
 		// the union of every shard heap: the merge executor pops exactly
 		// the sequence a single heap would.
@@ -247,6 +249,11 @@ func (s *Scheduler) schedule(at time.Duration, owner Owner, fn Callback, pfn Eve
 			g.noteCross(g.executing, s.shardID, at)
 		}
 	} else {
+		// Serial scheduler, or a shard of a parallel group: shard-local
+		// clock and sequence counter. In parallel mode every schedule call
+		// on this shard happens on its own window goroutine (or on the
+		// coordinator at a barrier, when no window runs), so the per-shard
+		// (at, seq) order is deterministic without any shared state.
 		if at < s.now {
 			at = s.now
 		}
@@ -402,6 +409,30 @@ func (s *Scheduler) fire(ev event) {
 	}
 }
 
+// runWindow fires this shard's events with at < limit (at <= limit when
+// inclusive), advancing the shard-local clock, and leaves the clock at
+// the window end. It is the per-shard half of the parallel executor
+// (ShardGroup.RunParallel) and runs on the shard's window goroutine; the
+// shard must belong to a parallel-mode group. Events scheduled during
+// the window for times inside it fire in the same window.
+func (s *Scheduler) runWindow(limit time.Duration, inclusive bool) {
+	for !s.stopped {
+		if !s.drainTop() {
+			break
+		}
+		ev := s.heap[0]
+		if ev.at > limit || (!inclusive && ev.at == limit) {
+			break
+		}
+		s.popTop()
+		s.now = ev.at
+		s.fire(ev)
+	}
+	if !s.stopped && s.now < limit {
+		s.now = limit
+	}
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed. On a sharded
 // scheduler it fires the earliest event of the whole group, whichever
@@ -462,18 +493,24 @@ func (s *Scheduler) Run() error {
 // Stop halts the scheduler: no further events fire from RunUntil/Run/Step.
 // It is intended to be called from within an event callback (e.g. when an
 // experiment has observed the condition it was waiting for). Stopping any
-// shard of a group stops the whole group.
+// shard of a group stops the whole group. Under the parallel executor the
+// stop is window-granular: this shard halts immediately, sibling shards
+// finish the current lookahead window first.
 func (s *Scheduler) Stop() {
 	s.stopped = true
 	if g := s.group; g != nil {
-		g.stopped = true
+		if g.par {
+			g.parStop.Store(true)
+		} else {
+			g.stopped = true
+		}
 	}
 }
 
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool {
 	if g := s.group; g != nil {
-		return g.stopped
+		return g.Stopped()
 	}
 	return s.stopped
 }

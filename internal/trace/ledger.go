@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -49,13 +51,45 @@ type LabelEvent struct {
 // label (takeover or relinquish); an *unsuccessful* one is the creation of
 // an additional label of the same context type while an earlier label for
 // the tracked entity exists (the "spurious label" case of Section 5.2).
+// In a free-running parallel run, group managers on different shard
+// goroutines record concurrently, so Record takes a lock; the summary
+// methods are read after the run but lock anyway for race cleanliness.
 type Ledger struct {
+	mu     sync.Mutex
 	Events []LabelEvent
 }
 
 // Record appends an event.
 func (l *Ledger) Record(ev LabelEvent) {
+	l.mu.Lock()
 	l.Events = append(l.Events, ev)
+	l.mu.Unlock()
+}
+
+// SortDeterministic re-orders the ledger into the canonical (At, CtxType,
+// Label, Type, Mote) order. A parallel run calls it once after the shards
+// stop: the event *multiset* is deterministic per (seed, shard count) but
+// the append interleaving is not, and sorting restores rerun
+// byte-identity for order-sensitive readers (LiveLabels, trace dumps).
+func (l *Ledger) SortDeterministic() {
+	l.mu.Lock()
+	sort.SliceStable(l.Events, func(i, j int) bool {
+		a, b := &l.Events[i], &l.Events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.CtxType != b.CtxType {
+			return a.CtxType < b.CtxType
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Mote < b.Mote
+	})
+	l.mu.Unlock()
 }
 
 // HandoverSummary is the outcome of a single-target run.
@@ -114,6 +148,8 @@ func (h HandoverSummary) CoherenceViolations() int {
 // context-label coherence. Labels deleted by weight-based suppression are
 // removed from the failure count — the system recovered coherence.
 func (l *Ledger) Summarize(ctxType string) HandoverSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var s HandoverSummary
 	for _, ev := range l.Events {
 		if ev.CtxType != ctxType {
@@ -144,6 +180,8 @@ func (l *Ledger) Summarize(ctxType string) HandoverSummary {
 // DistinctLabels returns how many distinct labels of the context type
 // appear in the ledger.
 func (l *Ledger) DistinctLabels(ctxType string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	seen := make(map[string]struct{})
 	for _, ev := range l.Events {
 		if ev.CtxType == ctxType && ev.Type == LabelCreated {
@@ -156,6 +194,8 @@ func (l *Ledger) DistinctLabels(ctxType string) int {
 // LiveLabels returns the labels of the context type that were created but
 // never deleted, in creation order.
 func (l *Ledger) LiveLabels(ctxType string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var order []string
 	live := make(map[string]bool)
 	for _, ev := range l.Events {

@@ -111,6 +111,23 @@ func (s *Stats) RecordUndelivered(k Kind) {
 	s.kindStats(k).Undelivered++
 }
 
+// AddFrom folds another accumulator's counters into s. The free-running
+// parallel engine gives each shard a private Stats and merges them here
+// after the shards stop (counter sums are order-independent, so the
+// merged totals are deterministic per configuration).
+func (s *Stats) AddFrom(o *Stats) {
+	s.BitsSent += o.BitsSent
+	for k, oks := range o.kinds {
+		ks := s.kindStats(k)
+		ks.Sent += oks.Sent
+		ks.Received += oks.Received
+		ks.Undelivered += oks.Undelivered
+		ks.LostRandom += oks.LostRandom
+		ks.LostCollision += oks.LostCollision
+		ks.LostOverload += oks.LostOverload
+	}
+}
+
 // Kind returns a copy of the counters for k.
 func (s *Stats) Kind(k Kind) KindStats {
 	if s.kinds == nil {

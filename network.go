@@ -41,6 +41,7 @@ type networkConfig struct {
 	bus         *obs.Bus
 	selfProfile *simtime.Profile
 	shards      int
+	parallel    bool
 }
 
 // Option configures New.
@@ -164,6 +165,27 @@ func WithShards(n int) Option {
 	return optionFunc(func(c *networkConfig) { c.shards = n })
 }
 
+// WithParallelShards splits the run into k spatially sharded schedulers
+// like WithShards, then executes them on separate goroutines with the
+// free-running conservative-lookahead (LBTS) engine: each shard fires its
+// events inside lookahead windows of one minimum packet time
+// (airtime + PropDelay), a barrier drains the cross-shard radio
+// mailboxes, merges the buffered observability lanes, and samples series,
+// and the window advances. Each shard owns a deterministic RNG stream
+// derived from the run seed (simtime.ShardSeed) and CSMA occupancy is
+// shard-local, so results are no longer byte-identical to serial — they
+// are statistically equivalent (the internal/eval equivalence battery
+// pins the distributions) and deterministic per (seed, shard count):
+// rerunning the same configuration reproduces the run byte-for-byte.
+// Violations of the lookahead bound make Run fail with an error — a
+// violated bound means the run is invalid. k < 2 keeps the serial engine.
+func WithParallelShards(k int) Option {
+	return optionFunc(func(c *networkConfig) {
+		c.shards = k
+		c.parallel = k > 1
+	})
+}
+
 // WithSelfProfile attaches a scheduler self-profile: every simulation
 // event is timed and attributed to its owning subsystem (radio, group,
 // routing, ...), and callbacks run under pprof labels so CPU profiles
@@ -195,6 +217,18 @@ type Network struct {
 
 	nodes   map[NodeID]*Node
 	started bool
+
+	// Free-running parallel state (WithParallelShards): per-shard RNG
+	// streams and stats accumulators, the buffered observability lanes
+	// merged at each window barrier, the barrier-driven series samplers,
+	// and the smallest cross-traffic frame size (which can lower the
+	// lookahead window below the default frame's packet time). All nil or
+	// zero outside parallel mode.
+	shardRngs    []*rand.Rand
+	shardStats   []*trace.Stats
+	lanes        *obs.LaneSet
+	parSamplers  []*parSampler
+	minCrossBits int
 
 	// hot is the struct-of-arrays mirror of the per-mote hot fields
 	// (position, failure, CPU queue, membership/sensing words); every
@@ -242,6 +276,11 @@ func New(opts ...Option) (*Network, error) {
 		shardGroup = simtime.NewShardGroup(cfg.shards)
 		sched = shardGroup.Shard(0)
 		shardOf = shardMapper(cfg.bounds, cfg.shards)
+		if cfg.parallel {
+			// Before any event is scheduled: parallel mode switches the
+			// shards to local clocks and sequence counters.
+			shardGroup.EnableParallel()
+		}
 	}
 	if cfg.selfProfile != nil {
 		if shardGroup != nil {
@@ -279,6 +318,20 @@ func New(opts ...Option) (*Network, error) {
 		bus:     cfg.bus,
 		nodes:   make(map[NodeID]*Node),
 		hot:     mote.NewHotState(),
+	}
+
+	if n.parallel() {
+		k := cfg.shards
+		n.shardRngs = make([]*rand.Rand, k)
+		n.shardStats = make([]*trace.Stats, k)
+		rts := make([]radio.ShardRuntime, k)
+		n.lanes = obs.NewLaneSet(cfg.bus, k)
+		for i := 0; i < k; i++ {
+			n.shardRngs[i] = rand.New(rand.NewSource(simtime.ShardSeed(cfg.seed, i)))
+			n.shardStats[i] = &trace.Stats{}
+			rts[i] = radio.ShardRuntime{RNG: n.shardRngs[i], Stats: n.shardStats[i], Bus: n.laneBus(i)}
+		}
+		medium.EnableParallel(rts)
 	}
 
 	if cfg.cols > 0 && cfg.rows > 0 {
@@ -347,13 +400,22 @@ func (n *Network) AddMote(id NodeID, pos Point, model *SensorModel) (*Node, erro
 		shard = n.shardOf(pos)
 		sched = n.group.Shard(int(shard))
 	}
-	m, err := mote.New(id, pos, sched, n.medium, n.field, model, n.cfg.moteCfg, n.rng, n.stats)
+	rng, stats, bus := n.rng, n.stats, n.bus
+	if n.parallel() {
+		// The mote draws from its shard's RNG stream, accounts into its
+		// shard's stats, and emits through its shard's buffered lane — no
+		// mutable state shared across shard goroutines.
+		rng = n.shardRngs[shard]
+		stats = n.shardStats[shard]
+		bus = n.laneBus(int(shard))
+	}
+	m, err := mote.New(id, pos, sched, n.medium, n.field, model, n.cfg.moteCfg, rng, stats)
 	if err != nil {
 		return nil, fmt.Errorf("envirotrack: %w", err)
 	}
 	idx := m.BindHot(n.hot)
 	n.hot.SetShard(idx, shard)
-	m.SetObserver(n.bus)
+	m.SetObserver(bus)
 	stack := core.NewStack(m, n.medium, core.StackConfig{
 		Bounds:       n.cfg.bounds,
 		UseDirectory: n.cfg.directory,
@@ -397,6 +459,11 @@ func (n *Network) AttachContextAll(spec ContextType) error {
 // noteCtxType records an attached context type name (once) for the series
 // probes.
 func (n *Network) noteCtxType(name string) {
+	// Intern the type's hot-state bit now, at setup: the first SetMember /
+	// SetSensing otherwise inserts it lazily mid-run, which under the
+	// free-running parallel engine would mutate the shared intern map from
+	// whichever shard goroutine touches the type first.
+	n.hot.CtxMask(name)
 	for _, ct := range n.ctxTypes {
 		if ct == name {
 			return
@@ -459,15 +526,37 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 			return float64(n.hot.QueuedTotal())
 		}},
 		{Name: "link_util", Sample: func() float64 {
-			return n.stats.LinkUtilization(n.sched.Now(), n.medium.Params().BitRate)
+			return n.Stats().LinkUtilization(n.Now(), n.medium.Params().BitRate)
 		}},
 	}, extra...)
 	sampler := obs.NewSampler(probes...)
-	sampler.Sample(n.sched.Now())
+	sampler.Sample(n.Now())
+	if n.parallel() {
+		// No scheduler ticker in parallel mode: the probes read run-global
+		// state (ledger, hot slices, merged stats), so they sample at the
+		// window barriers, where every shard worker is parked. Each due
+		// instant in a window gets one row stamped with its due time, so
+		// the cadence matches serial; the values are the protocol state at
+		// the enclosing barrier — within one lookahead window of the due
+		// time.
+		n.parSamplers = append(n.parSamplers, &parSampler{
+			sampler: sampler,
+			every:   every,
+			next:    n.Now() + every,
+		})
+		return sampler.Series()
+	}
 	simtime.NewTickerOwned(n.sched, every, simtime.OwnerSeries, func() {
 		sampler.Sample(n.sched.Now())
 	})
 	return sampler.Series()
+}
+
+// parSampler is one barrier-driven series sampler of a parallel run.
+type parSampler struct {
+	sampler *obs.Sampler
+	every   time.Duration
+	next    time.Duration
 }
 
 // InjectFaults installs a chaos fault schedule on the network: node
@@ -485,7 +574,7 @@ func (n *Network) InjectFaults(sc chaos.Schedule) error {
 			return fmt.Errorf("envirotrack: chaos schedule crashes unknown node %d", c.Node)
 		}
 	}
-	inj, err := chaos.NewInjector(n.sched, sc, chaos.Hooks{
+	inj, err := chaos.NewInjectorRouted(n.chaosSchedFor, sc, chaos.Hooks{
 		Fail: func(node int) {
 			if nd, ok := n.nodes[NodeID(node)]; ok {
 				nd.Fail()
@@ -503,6 +592,20 @@ func (n *Network) InjectFaults(sc chaos.Schedule) error {
 	}
 	n.medium.SetFaultInjector(inj)
 	return nil
+}
+
+// chaosSchedFor routes a chaos victim's crash/restore events onto the
+// scheduler shard owning the victim, so in a free-running parallel run
+// the callback executes on the goroutine that owns the mote's state.
+// Routing is resolved at setup time, so in deterministic mode the global
+// (at, seq) firing order is unchanged.
+func (n *Network) chaosSchedFor(node int) *simtime.Scheduler {
+	if n.group != nil {
+		if nd, ok := n.nodes[NodeID(node)]; ok {
+			return nd.mote.Scheduler()
+		}
+	}
+	return n.sched
 }
 
 // start launches the sensing scans once. All sensing motes share the one
@@ -528,12 +631,42 @@ func (n *Network) start() {
 			period = m.Config().SensePeriod
 		}
 	}
-	if len(sweep) > 0 {
+	if len(sweep) > 0 && n.parallel() {
+		// One sweep ticker per shard over that shard's sensing motes (still
+		// in ascending id order), so every scan runs on the goroutine that
+		// owns the mote's state.
+		byShard := make([][]*mote.Mote, n.group.Shards())
+		for _, m := range sweep {
+			s := int(n.medium.NodeShard(m.ID()))
+			byShard[s] = append(byShard[s], m)
+		}
+		for i, motes := range byShard {
+			if len(motes) == 0 {
+				continue
+			}
+			motes := motes
+			simtime.NewTickerOwned(n.group.Shard(i), period, simtime.OwnerSense, func() {
+				for _, m := range motes {
+					m.ScanOnce()
+				}
+			})
+		}
+	} else if len(sweep) > 0 {
 		simtime.NewTickerOwned(n.sched, period, simtime.OwnerSense, func() {
 			for _, m := range sweep {
 				m.ScanOnce()
 			}
 		})
+	}
+	if n.parallel() {
+		// Topology is frozen now: resolve every neighbor list so spatial
+		// lookups are pure map reads while shard goroutines execute, and
+		// force any lazily-built trajectory tables (waypoint legs) so field
+		// reads from shard goroutines are pure.
+		n.medium.PrebuildNeighbors()
+		for _, tg := range n.field.Targets() {
+			tg.PositionAt(0)
+		}
 	}
 }
 
@@ -549,7 +682,16 @@ func (n *Network) AddCrossTraffic(src, dst NodeID, period time.Duration, bits in
 	if !ok {
 		return fmt.Errorf("envirotrack: unknown cross-traffic source %d", src)
 	}
-	simtime.NewTickerOwned(n.sched, period, simtime.OwnerApp, func() {
+	if bits > 0 && bits < radio.DefaultFrameBits && (n.minCrossBits == 0 || bits < n.minCrossBits) {
+		// Sub-default frames shrink the minimum packet time, and with it
+		// the conservative lookahead window of a parallel run.
+		n.minCrossBits = bits
+	}
+	// The ticker lives on the source mote's shard (its own scheduler in
+	// serial runs), so in parallel mode the send runs on the goroutine
+	// owning the source. Setup-time routing: the deterministic (at, seq)
+	// order is unchanged.
+	simtime.NewTickerOwned(node.mote.Scheduler(), period, simtime.OwnerApp, func() {
 		if node.mote.Failed() {
 			return
 		}
@@ -564,19 +706,119 @@ func (n *Network) AddCrossTraffic(src, dst NodeID, period time.Duration, bits in
 }
 
 // Run advances the simulation by d of virtual time (synchronously, on the
-// calling goroutine). It can be called repeatedly.
+// calling goroutine). It can be called repeatedly. In parallel mode
+// (WithParallelShards) it drives the free-running LBTS executor and
+// returns an error if any cross-shard delivery violated the conservative
+// lookahead bound — a violated bound means the run is invalid.
 func (n *Network) Run(d time.Duration) error {
 	n.start()
+	if n.parallel() {
+		return n.runParallel(n.group.Now() + d)
+	}
 	return n.sched.RunUntil(n.sched.Now() + d)
 }
 
-// Now returns the current virtual time.
+// parallel reports whether the run uses the free-running parallel engine.
+func (n *Network) parallel() bool {
+	return n.group != nil && n.group.Parallel()
+}
+
+// laneBus returns shard i's buffered observability lane (nil when the run
+// is unobserved).
+func (n *Network) laneBus(i int) *obs.Bus {
+	if n.lanes == nil {
+		return nil
+	}
+	return n.lanes.Bus(i)
+}
+
+// lookaheadDelta is the parallel window width: the conservative lower
+// bound on any cross-shard interaction latency — the airtime of the
+// smallest frame a run can put on the air, plus propagation delay.
+func (n *Network) lookaheadDelta() time.Duration {
+	bits := radio.DefaultFrameBits
+	if n.minCrossBits > 0 && n.minCrossBits < bits {
+		bits = n.minCrossBits
+	}
+	return n.medium.Airtime(bits) + n.medium.Params().PropDelay
+}
+
+// runParallel drives the free-running executor to the deadline. After the
+// shards stop it canonicalizes the ledger order (the event multiset is
+// deterministic per configuration; the append interleaving is not) and
+// hard-fails on any conservative-lookahead violation.
+func (n *Network) runParallel(deadline time.Duration) error {
+	// Cap the executor's idle skip at the next series-sample due time so
+	// samplers keep their exact cadence: a sample taken at a barrier in
+	// an event-free gap reads the same state it would have read under
+	// per-delta windows. Samplers advance only inside parBarrier, on the
+	// coordinator, so the closure reads race-free.
+	if len(n.parSamplers) > 0 {
+		n.group.SetWindowCap(func(time.Duration) (time.Duration, bool) {
+			var c time.Duration
+			ok := false
+			for _, ps := range n.parSamplers {
+				if !ok || ps.next < c {
+					c, ok = ps.next, true
+				}
+			}
+			return c, ok
+		})
+	}
+	err := n.group.RunParallel(deadline, n.lookaheadDelta(), n.parBarrier)
+	n.ledger.SortDeterministic()
+	if err != nil {
+		return err
+	}
+	if v := n.medium.LookaheadViolations(); v > 0 {
+		return fmt.Errorf("envirotrack: parallel run invalid: %d cross-shard deliveries violated the conservative lookahead bound", v)
+	}
+	return nil
+}
+
+// parBarrier runs at every parallel window edge with all shard workers
+// parked: it drains the cross-shard radio outboxes onto the receiver
+// shards (failing the run on lookahead violations), merges the buffered
+// observability lanes into the real bus in timestamp order, and takes the
+// series samples that came due inside the window.
+func (n *Network) parBarrier(w time.Duration) error {
+	v := n.medium.FlushBoundary(w)
+	if n.lanes != nil {
+		n.lanes.Flush()
+	}
+	if v > 0 {
+		return fmt.Errorf("envirotrack: parallel run invalid at %v: %d cross-shard deliveries violated the conservative lookahead bound", w, v)
+	}
+	for _, ps := range n.parSamplers {
+		for ps.next <= w {
+			ps.sampler.Sample(ps.next)
+			ps.next += ps.every
+		}
+	}
+	return nil
+}
+
+// Now returns the current virtual time. In parallel mode this is the
+// group clock (the committed window edge); event callbacks needing their
+// shard's local time use Node.Now.
 func (n *Network) Now() time.Duration {
+	if n.group != nil {
+		return n.group.Now()
+	}
 	return n.sched.Now()
 }
 
-// Stats returns the run's radio accounting.
+// Stats returns the run's radio accounting. In parallel mode the
+// per-shard accumulators are merged into a fresh snapshot; call it after
+// (or between) Run calls, not from event callbacks.
 func (n *Network) Stats() *Stats {
+	if n.parallel() {
+		merged := &trace.Stats{}
+		for _, s := range n.shardStats {
+			merged.AddFrom(s)
+		}
+		return merged
+	}
 	return n.stats
 }
 
@@ -587,7 +829,7 @@ func (n *Network) Ledger() *Ledger {
 
 // TargetPosition returns a target's position at the current virtual time.
 func (n *Network) TargetPosition(t *Target) Point {
-	return t.PositionAt(n.sched.Now())
+	return t.PositionAt(n.Now())
 }
 
 // Bounds returns the field bounds.
@@ -643,6 +885,42 @@ func (n *Network) LookaheadViolations() uint64 {
 	return n.medium.LookaheadViolations()
 }
 
+// ParallelShards returns the number of free-running shard goroutines (0
+// when the run uses the serial or deterministic-sharded engine).
+func (n *Network) ParallelShards() int {
+	if n.parallel() {
+		return n.group.Shards()
+	}
+	return 0
+}
+
+// ShardPairStat is one ordered shard pair's boundary-traffic accounting.
+type ShardPairStat struct {
+	From, To int
+	Frames   uint64        // boundary target receptions From -> To
+	MinSlack time.Duration // tightest margin over the sender's horizon
+}
+
+// ShardPairStats lists every shard pair that exchanged boundary frames,
+// in (From, To) order. Empty in serial runs.
+func (n *Network) ShardPairStats() []ShardPairStat {
+	k := n.Shards()
+	if k <= 1 {
+		return nil
+	}
+	var out []ShardPairStat
+	for from := 0; from < k; from++ {
+		for to := 0; to < k; to++ {
+			mb := n.medium.ShardMailboxStat(from, to)
+			if mb.Frames == 0 {
+				continue
+			}
+			out = append(out, ShardPairStat{From: from, To: to, Frames: mb.Frames, MinSlack: mb.MinSlack})
+		}
+	}
+	return out
+}
+
 // --- Node methods ---
 
 // ID returns the node id.
@@ -650,6 +928,13 @@ func (nd *Node) ID() NodeID { return nd.mote.ID() }
 
 // Pos returns the node position.
 func (nd *Node) Pos() Point { return nd.mote.Pos() }
+
+// Now returns the node's local virtual time: its shard's clock in a
+// free-running parallel run, the global clock otherwise. Event callbacks
+// (OnMessage, sensing hooks) must timestamp with this, not Network.Now —
+// the group clock only shows the last committed window edge while shards
+// free-run ahead of it.
+func (nd *Node) Now() time.Duration { return nd.mote.Scheduler().Now() }
 
 // AttachContext installs a context type on this mote.
 func (nd *Node) AttachContext(spec ContextType) error {

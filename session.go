@@ -43,17 +43,46 @@ func (n *Network) RunSession(d time.Duration, subscribe ...NodeID) *Session {
 	for _, id := range subscribe {
 		if node, ok := n.nodes[id]; ok {
 			nodeID := id
-			node.OnMessage(func(msg NodeMessage) {
-				// Runs on the session goroutine (scheduler thread);
-				// blocking here paces the simulation to the consumer.
+			nd := node
+			nd.OnMessage(func(msg NodeMessage) {
+				// Runs on the delivering scheduler goroutine (the node's
+				// shard goroutine in parallel mode); blocking here paces the
+				// simulation to the consumer. The timestamp is the node's
+				// local clock — identical to the global clock outside
+				// parallel runs.
 				select {
-				case s.events <- Event{At: n.sched.Now(), Node: nodeID, Msg: msg}:
+				case s.events <- Event{At: nd.Now(), Node: nodeID, Msg: msg}:
 				case <-s.stop:
 				}
 			})
 		}
 	}
 	n.start()
+	if n.parallel() {
+		deadline := n.Now() + d
+		// The free-running executor owns its shard goroutines; Stop requests
+		// arrive asynchronously through the group's atomic stop flag, which
+		// a watcher trips when the consumer calls Session.Stop.
+		go func() {
+			select {
+			case <-s.stop:
+				n.group.Stop()
+			case <-s.done:
+			}
+		}()
+		go func() {
+			defer close(s.done)
+			defer close(s.events)
+			err := n.runParallel(deadline)
+			select {
+			case <-s.stop:
+				s.err = ErrSessionStopped
+			default:
+				s.err = err
+			}
+		}()
+		return s
+	}
 	deadline := n.sched.Now() + d
 	go func() {
 		defer close(s.done)

@@ -1,0 +1,121 @@
+package envirotrack
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardHealth accumulates the boundary-protocol accounting of sharded
+// runs across a sweep: total boundary target receptions, conservative
+// lookahead violations, and per shard pair the mailbox frame count plus
+// the tightest delivery slack observed over the sender's committed
+// horizon. One aggregator may be shared by many runs (Observe locks);
+// attach it to the eval harness and render or export the snapshot after
+// the sweep. Serial runs contribute nothing.
+type ShardHealth struct {
+	mu         sync.Mutex
+	runs       uint64
+	boundary   uint64
+	violations uint64
+	pairs      map[[2]int]*shardPairAgg
+}
+
+type shardPairAgg struct {
+	frames   uint64
+	minSlack time.Duration
+}
+
+// NewShardHealth builds an empty boundary-health aggregator.
+func NewShardHealth() *ShardHealth {
+	return &ShardHealth{pairs: make(map[[2]int]*shardPairAgg)}
+}
+
+// Observe folds one finished run's boundary accounting into the
+// aggregate. It is a no-op for unsharded runs.
+func (h *ShardHealth) Observe(n *Network) {
+	if n.Shards() <= 1 {
+		return
+	}
+	pairs := n.ShardPairStats()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.runs++
+	h.boundary += n.BoundaryFrames()
+	h.violations += n.LookaheadViolations()
+	for _, p := range pairs {
+		key := [2]int{p.From, p.To}
+		agg, ok := h.pairs[key]
+		if !ok {
+			agg = &shardPairAgg{minSlack: p.MinSlack}
+			h.pairs[key] = agg
+		} else if p.MinSlack < agg.minSlack {
+			agg.minSlack = p.MinSlack
+		}
+		agg.frames += p.Frames
+	}
+}
+
+// ShardHealthSnapshot is a point-in-time copy of a ShardHealth aggregate.
+type ShardHealthSnapshot struct {
+	Runs                uint64 // sharded runs observed
+	BoundaryFrames      uint64
+	LookaheadViolations uint64
+	Pairs               []ShardPairStat // (From, To) order, aggregated over runs
+}
+
+// Snapshot copies the aggregate, with pairs in (From, To) order.
+func (h *ShardHealth) Snapshot() ShardHealthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := ShardHealthSnapshot{
+		Runs:                h.runs,
+		BoundaryFrames:      h.boundary,
+		LookaheadViolations: h.violations,
+	}
+	for key, agg := range h.pairs {
+		snap.Pairs = append(snap.Pairs, ShardPairStat{
+			From: key[0], To: key[1], Frames: agg.frames, MinSlack: agg.minSlack,
+		})
+	}
+	sort.Slice(snap.Pairs, func(i, j int) bool {
+		if snap.Pairs[i].From != snap.Pairs[j].From {
+			return snap.Pairs[i].From < snap.Pairs[j].From
+		}
+		return snap.Pairs[i].To < snap.Pairs[j].To
+	})
+	return snap
+}
+
+// ExportShardHealth publishes a boundary-health snapshot into a metrics
+// registry: envirotrack_boundary_frames_total and
+// envirotrack_lookahead_violations_total counters, per-pair
+// envirotrack_shard_mailbox_frames_total counters, and per-pair
+// envirotrack_shard_mailbox_min_slack_seconds gauges. Like
+// ExportSelfProfile it is idempotent: repeated calls advance the
+// monotonic counters to the latest snapshot.
+func ExportShardHealth(reg *MetricsRegistry, h *ShardHealth) {
+	snap := h.Snapshot()
+	boundary := reg.Counter("envirotrack_boundary_frames_total",
+		"Radio target receptions crossing a shard boundary.")
+	if snap.BoundaryFrames > boundary.Value() {
+		boundary.Add(snap.BoundaryFrames - boundary.Value())
+	}
+	violations := reg.Counter("envirotrack_lookahead_violations_total",
+		"Cross-shard deliveries that violated the conservative lookahead bound.")
+	if snap.LookaheadViolations > violations.Value() {
+		violations.Add(snap.LookaheadViolations - violations.Value())
+	}
+	frames := reg.CounterVec("envirotrack_shard_mailbox_frames_total",
+		"Boundary target receptions by ordered shard pair.", "pair")
+	slack := reg.GaugeVec("envirotrack_shard_mailbox_min_slack_seconds",
+		"Tightest boundary-delivery margin over the sending shard's horizon, by ordered shard pair.", "pair")
+	for _, p := range snap.Pairs {
+		label := fmt.Sprintf("%d->%d", p.From, p.To)
+		if c := frames.With(label); p.Frames > c.Value() {
+			c.Add(p.Frames - c.Value())
+		}
+		slack.With(label).Set(p.MinSlack.Seconds())
+	}
+}
