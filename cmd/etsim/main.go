@@ -11,6 +11,12 @@
 //	etsim -exp all             # everything
 //	etsim -exp all -parallel 8 # same results, sweeps fanned over 8 workers
 //
+// Tracking backends (default is the paper's leader protocol):
+//
+//	etsim -exp fig3 -backend passive   # passive-traces backend, no leaders
+//	etsim -exp compare -trials 2       # leader vs passive side by side,
+//	                                   # each checked against its own invariants
+//
 // Engines (serial is the byte-identical reference):
 //
 //	etsim -exp fig4 -shards 4           # sharded engine, results identical to serial
@@ -49,6 +55,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"envirotrack"
@@ -70,6 +77,7 @@ type config struct {
 	progress    bool
 	chaosSpec   string
 	checkInv    bool
+	backend     string
 	selfProfile bool
 	shards      int
 	parShards   int
@@ -79,7 +87,7 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.exp, "exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, chaos, all")
+	flag.StringVar(&cfg.exp, "exp", "all", "experiment: fig3, fig4, table1, fig5, fig6, chaos, compare, all")
 	flag.IntVar(&cfg.trials, "trials", 3, "trials per Figure 4 cell")
 	flag.IntVar(&cfg.runs, "runs", 3, "runs per Table 1 row")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for Figure 3")
@@ -92,6 +100,7 @@ func main() {
 	flag.BoolVar(&cfg.progress, "progress", false, "report live sweep progress (done/total, rate, ETA) on stderr")
 	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault schedule for the Figure 3 run, e.g. \"crash:node=5,at=300s,for=60s;loss:at=100s,for=60s,p=0.5\"")
 	flag.BoolVar(&cfg.checkInv, "check-invariants", false, "attach the protocol invariant checker; exit nonzero on any proven violation")
+	flag.StringVar(&cfg.backend, "backend", "", "tracking backend for every run: leader (default) or passive; -exp compare always runs both")
 	flag.BoolVar(&cfg.selfProfile, "selfprofile", false, "profile the scheduler: per-subsystem event counts and wall time, printed after the run (and exported with -metrics-out)")
 	flag.IntVar(&cfg.shards, "shards", 1, "scheduler shards per run: split each run's event engine into N spatial regions merged deterministically; results and traces are identical at any setting")
 	flag.IntVar(&cfg.parShards, "parallel-shards", 0, "free-running parallel shard goroutines per run (0 = off): shards execute concurrently under a conservative lookahead barrier; results are statistically equivalent to serial (not byte-identical) and deterministic per (seed, shard count); takes precedence over -shards")
@@ -188,7 +197,22 @@ func run(cfg config) error {
 		eval.SetSelfProfile(nil)
 		eval.SetShardHealth(nil)
 		eval.SetParallelShards(0)
+		eval.SetBackend("")
 	}()
+	if cfg.backend != "" {
+		known := false
+		for _, be := range envirotrack.TrackingBackends() {
+			if be == cfg.backend {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown tracking backend %q (known: %s)",
+				cfg.backend, strings.Join(envirotrack.TrackingBackends(), ", "))
+		}
+		eval.SetBackend(cfg.backend)
+	}
 	if cfg.progress {
 		eval.SetProgressWriter(cfg.stderr)
 	}
@@ -329,8 +353,24 @@ func run(cfg config) error {
 			fmt.Fprintln(cfg.stdout, eval.RenderChaos(points))
 		}
 	}
+	if cfg.exp == "compare" {
+		ran = true
+		points, err := eval.RunComparative(cfg.trials)
+		if err != nil {
+			return err
+		}
+		summary := eval.SummarizeComparison(points)
+		for _, s := range summary {
+			violations += s.Violations
+		}
+		if jsonOut {
+			results["compare"] = compareView(points, summary)
+		} else {
+			fmt.Fprintln(cfg.stdout, eval.RenderComparative(points))
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, chaos, all)", cfg.exp)
+		return fmt.Errorf("unknown experiment %q (want fig3, fig4, table1, fig5, fig6, chaos, compare, all)", cfg.exp)
 	}
 
 	if jsonOut {
@@ -576,6 +616,15 @@ func chaosView(points []eval.ChaosPoint) any {
 		out = append(out, pt)
 	}
 	return out
+}
+
+// compareView keeps the comparative matrix's own JSON tags (they are the
+// schema CI smoke-checks) and adds the per-backend summary.
+func compareView(points []eval.ComparePoint, summary []eval.CompareSummary) any {
+	return struct {
+		Points  []eval.ComparePoint   `json:"points"`
+		Summary []eval.CompareSummary `json:"summary"`
+	}{points, summary}
 }
 
 func fig6View(points []eval.Figure6Point) any {

@@ -49,6 +49,7 @@ import (
 	"envirotrack/internal/sensor"
 	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
+	"envirotrack/internal/track"
 	"envirotrack/internal/transport"
 )
 
@@ -189,6 +190,19 @@ type (
 // PositionInput is the distinguished aggregation input meaning the
 // reporting mote's position.
 const PositionInput = core.PositionInput
+
+// Tracking backend names, for ContextType.Backend and WithBackend.
+const (
+	// BackendLeader is the paper's group-management protocol: heartbeat
+	// flooding, leader election, and member reports (the default).
+	BackendLeader = track.BackendLeader
+	// BackendPassive is the passive-traces protocol: trace deposition,
+	// one-hop gossip, and a local estimator — no leaders, no heartbeats.
+	BackendPassive = track.BackendPassive
+)
+
+// TrackingBackends returns the registered tracking backend names.
+func TrackingBackends() []string { return track.Names() }
 
 // Trigger kinds.
 const (

@@ -121,7 +121,7 @@ func (c *Ctx) SendNode(dst radio.NodeID, payload any) {
 // setState() command of Section 5.2).
 func (c *Ctx) SetState(state []byte) {
 	if c.rt != nil {
-		c.rt.mgr.SetState(state)
+		c.rt.be.SetState(state)
 	}
 }
 
@@ -130,7 +130,7 @@ func (c *Ctx) State() []byte {
 	if c.rt == nil {
 		return nil
 	}
-	return c.rt.mgr.State()
+	return c.rt.be.State()
 }
 
 // QueryDirectory asks "where are all the <ctxType>s?" (Section 5.3); the

@@ -155,8 +155,13 @@ type ContextType struct {
 	Vars []AggVarSpec
 	// Objects are the attached tracking objects.
 	Objects []ObjectSpec
-	// Group overrides group-management parameters for this type.
+	// Group overrides group-management parameters for this type. Non-leader
+	// backends derive their protocol periods from the same knobs.
 	Group group.Config
+	// Backend names the tracking backend maintaining this type's labels
+	// (see internal/track). Empty means the default leader-election
+	// backend.
+	Backend string
 }
 
 // Validate reports an invalid context type.

@@ -14,6 +14,8 @@ import (
 	"envirotrack/internal/sensor"
 	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
+	"envirotrack/internal/track"
+	_ "envirotrack/internal/track/passive" // register the passive-traces backend
 	"envirotrack/internal/transport"
 )
 
@@ -134,13 +136,23 @@ func (s *Stack) AttachContext(spec ContextType) (*ctxRuntime, error) {
 	}
 
 	rt := &ctxRuntime{stack: s, spec: spec}
-	rt.mgr = group.NewManager(s.m, spec.Name, gcfg, group.Callbacks{
-		ReportPayload:    rt.reportPayload,
-		OnReport:         rt.onMemberReport,
-		OnBecomeLeader:   rt.onBecomeLeader,
-		OnLoseLeadership: rt.onLoseLeadership,
-		OnLabelDeleted:   rt.onLabelDeleted,
-	}, s.ledger)
+	be, err := track.New(spec.Backend, track.Deps{
+		Mote:    s.m,
+		CtxType: spec.Name,
+		Group:   gcfg,
+		Callbacks: track.Callbacks{
+			ReportPayload:  rt.reportPayload,
+			OnReport:       rt.onMemberReport,
+			OnActivate:     rt.onActivate,
+			OnDeactivate:   rt.onDeactivate,
+			OnLabelDeleted: rt.onLabelDeleted,
+		},
+		Ledger: s.ledger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.be = be
 	s.runtimes = append(s.runtimes, rt)
 	return rt, nil
 }
@@ -223,11 +235,14 @@ func transportLabelType(l group.Label) string {
 	return s
 }
 
-// ctxRuntime is the per-mote runtime state of one context type.
+// ctxRuntime is the per-mote runtime state of one context type. It talks
+// to the tracking protocol only through the track.Backend interface; the
+// middleware concerns here (aggregate windows, object methods, directory
+// registration) are backend-agnostic.
 type ctxRuntime struct {
 	stack *Stack
 	spec  ContextType
-	mgr   *group.Manager
+	be    track.Backend
 
 	// Latest local samples per variable, refreshed on every scan while
 	// sensing (sent to the leader in reports / used directly when leading).
@@ -241,8 +256,24 @@ type ctxRuntime struct {
 	ports     []transport.PortID
 }
 
-// Manager exposes the group manager (for tests and experiments).
-func (rt *ctxRuntime) Manager() *group.Manager { return rt.mgr }
+// Backend exposes the tracking backend driving this runtime.
+func (rt *ctxRuntime) Backend() track.Backend { return rt.be }
+
+// Manager exposes the group manager when the leader backend is in use
+// (for tests and experiments); nil for other backends.
+func (rt *ctxRuntime) Manager() *group.Manager {
+	if lb, ok := rt.be.(interface{ Manager() *group.Manager }); ok {
+		return lb.Manager()
+	}
+	return nil
+}
+
+// Label returns the context label this mote currently participates in.
+func (rt *ctxRuntime) Label() group.Label { return rt.be.Label() }
+
+// Participating reports whether this mote takes part in the tracking
+// protocol for some label of the type.
+func (rt *ctxRuntime) Participating() bool { return rt.be.Participating() }
 
 // Leading reports whether this mote currently leads a label of the type.
 func (rt *ctxRuntime) Leading() bool { return rt.ctx != nil }
@@ -252,10 +283,10 @@ func (rt *ctxRuntime) Ctx() *Ctx { return rt.ctx }
 
 func (rt *ctxRuntime) onScan(rd sensor.Reading) {
 	sensing := rt.spec.Activation(rd)
-	if rt.mgr.Sensing() && rt.spec.Deactivation != nil {
+	if rt.be.Sensing() && rt.spec.Deactivation != nil {
 		sensing = !rt.spec.Deactivation(rd)
 	}
-	rt.mgr.SetSensing(sensing)
+	rt.be.SetSensing(sensing)
 
 	if sensing {
 		rt.refreshSamples(rd)
@@ -315,20 +346,36 @@ func (rt *ctxRuntime) reportPayload() any {
 	return readingsPayload{Samples: out}
 }
 
-// onMemberReport folds a member's samples into the leader's windows.
+// onMemberReport folds a remote mote's samples into the active mote's
+// windows. Full readings reports (the leader backend's member reports)
+// carry one sample per variable; trace samples (the passive backend's
+// gossiped observations) carry a position only and feed the
+// position-input variables.
 func (rt *ctxRuntime) onMemberReport(_ radio.NodeID, payload any) {
-	rp, ok := payload.(readingsPayload)
-	if !ok || rt.windows == nil {
+	if rt.windows == nil {
 		return
 	}
-	for name, smp := range rp.Samples {
-		if w, ok := rt.windows[name]; ok {
-			w.Add(smp)
+	switch rp := payload.(type) {
+	case readingsPayload:
+		for name, smp := range rp.Samples {
+			if w, ok := rt.windows[name]; ok {
+				w.Add(smp)
+			}
+		}
+	case track.TraceSample:
+		smp := aggregate.Sample{MoteID: int(rp.MoteID), At: rp.At, Pos: rp.Pos}
+		for _, v := range rt.spec.Vars {
+			if v.Input != PositionInput {
+				continue
+			}
+			if w, ok := rt.windows[v.Name]; ok {
+				w.Add(smp)
+			}
 		}
 	}
 }
 
-func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
+func (rt *ctxRuntime) onActivate(label group.Label, state []byte) {
 	rt.windows = make(map[string]*aggregate.Window, len(rt.spec.Vars))
 	for _, v := range rt.spec.Vars {
 		w, err := aggregate.NewWindow(v.Func, v.Freshness, v.CriticalMass)
@@ -340,7 +387,7 @@ func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
 	rt.ctx = &Ctx{stack: rt.stack, rt: rt, label: label}
 	rt.stack.ep.SetLeading(label, true)
 	if state != nil {
-		rt.mgr.SetState(state)
+		rt.be.SetState(state)
 	}
 
 	// Install message-triggered methods and timer methods.
@@ -385,7 +432,7 @@ func (rt *ctxRuntime) onBecomeLeader(label group.Label, state []byte) {
 	}
 }
 
-func (rt *ctxRuntime) onLoseLeadership(label group.Label) {
+func (rt *ctxRuntime) onDeactivate(label group.Label) {
 	for _, tk := range rt.tickers {
 		tk.Stop()
 	}

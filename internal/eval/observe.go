@@ -26,6 +26,24 @@ var obsCfg struct {
 	shardHealth *envirotrack.ShardHealth
 	shards      int
 	parallel    int
+	backend     string
+}
+
+// SetBackend makes every subsequent Run use the named tracking backend
+// for scenarios that don't pin one explicitly ("" restores the leader
+// default). Like the other package-level knobs this is process-wide, so
+// the CLI's -backend flag reaches every experiment harness.
+func SetBackend(name string) {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.backend = name
+}
+
+// defaultBackend reads the SetBackend configuration.
+func defaultBackend() string {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	return obsCfg.backend
 }
 
 // SetShards makes every subsequent Run execute on a spatially sharded

@@ -93,6 +93,11 @@ type Scenario struct {
 	// serial, not byte-identical; see RunEquivalence). It overrides the
 	// package-level SetShards/SetParallelShards configuration.
 	ParallelShards int
+	// Backend selects the tracking backend ("leader" or "passive");
+	// empty uses the package-level SetBackend default, then leader. The
+	// invariant checker follows: leader runs get I1–I5, passive runs the
+	// passive rule set.
+	Backend string
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -129,6 +134,9 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Seed == 0 {
 		sc.Seed = 1
 	}
+	if sc.Backend == "" {
+		sc.Backend = defaultBackend()
+	}
 	return sc
 }
 
@@ -157,6 +165,9 @@ type RunResult struct {
 	// CheckedEvents counts the events the invariant checker consumed
 	// (zero means it never saw the run).
 	CheckedEvents uint64
+	// FramesSent totals radio transmissions across all message kinds
+	// (the comparative harness normalizes it per target-second).
+	FramesSent uint64
 }
 
 // Run executes one tracking scenario to the end of the target's path.
@@ -266,6 +277,9 @@ func Run(sc Scenario) (RunResult, error) {
 		LinkUtil: net.Stats().LinkUtilization(net.Now(), 50_000),
 		Labels:   net.Ledger().DistinctLabels("tracker"),
 	}
+	for _, k := range net.Stats().Kinds() {
+		res.FramesSent += net.Stats().Kind(k).Sent
+	}
 	res.TrackedOK = coveredAtEnd(net, target, sc)
 	if checker != nil {
 		checker.Finish(net.Now())
@@ -299,6 +313,7 @@ func checkerFor(sc Scenario) *envirotrack.InvariantChecker {
 		parts = append(parts, w)
 	}
 	return envirotrack.NewInvariantChecker(envirotrack.InvariantConfig{
+		Backend:      sc.Backend,
 		Heartbeat:    sc.Heartbeat,
 		ReportPeriod: pe,
 		CommRadius:   sc.CommRadius,
@@ -310,7 +325,8 @@ func checkerFor(sc Scenario) *envirotrack.InvariantChecker {
 // scenario QoS.
 func trackerSpec(sc Scenario) envirotrack.ContextType {
 	return envirotrack.ContextType{
-		Name: "tracker",
+		Name:    "tracker",
+		Backend: sc.Backend,
 		Activation: func(rd envirotrack.Reading) bool {
 			v, _ := rd.Value("magnetic_detect")
 			return v > 0.5

@@ -28,6 +28,12 @@
 //	                      ReportPeriod + CadenceSlack (freshness
 //	                      Pe = Le - d from Section 5.3).
 //
+// The I1–I5 rules above assume heartbeat group management and only run
+// for the leader backend. A run under the passive-traces backend is
+// checked against its own rule set instead (see passive.go): trace
+// sequence monotonicity, no reports without a supporting trace, and the
+// estimate-staleness bound. Config.Backend selects the rule set.
+//
 // The checker consumes the stream of a single run in event order; attach
 // one Checker per run (the eval harness builds one per scenario seed).
 package invariant
@@ -44,7 +50,13 @@ import (
 // Config parameterizes the checker with the protocol timing of the run
 // under observation. The zero value applies the group-config defaults.
 type Config struct {
-	// Heartbeat is the leader heartbeat period (default 500ms).
+	// Backend names the tracking backend of the run under observation
+	// (a track registry name; empty means "leader"). The leader rules
+	// I1–I5 assume heartbeat group management; "passive" selects the
+	// passive-traces rule set instead.
+	Backend string
+	// Heartbeat is the leader heartbeat period — and, for the passive
+	// backend, the trace deposit period (default 500ms).
 	Heartbeat time.Duration
 	// ReceiveFactor scales the receive timer (default 2.1).
 	ReceiveFactor float64
@@ -81,6 +93,15 @@ type Config struct {
 	// DirectoryGrace bounds how stale a directory registration may be.
 	// Default 3s (one transport round-trip plus scheduling slack).
 	DirectoryGrace time.Duration
+	// TraceStaleness is the passive backend's trace-field staleness
+	// bound, WaitFactor x heartbeat (default 4.2 x Heartbeat, the
+	// group-config default WaitFactor). Only used when Backend is
+	// "passive"; the eval harness passes passive.Staleness here so a
+	// scenario's tuned WaitFactor flows through.
+	TraceStaleness time.Duration
+	// TraceSlack pads the passive staleness bounds against transmission
+	// and event-delivery skew. Default 1s.
+	TraceSlack time.Duration
 	// MaxViolations caps the retained violation list (the count keeps
 	// incrementing). Default 100.
 	MaxViolations int
@@ -109,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DirectoryGrace <= 0 {
 		c.DirectoryGrace = 3 * time.Second
+	}
+	if c.TraceStaleness <= 0 {
+		c.TraceStaleness = time.Duration(float64(c.Heartbeat) * 4.2)
+	}
+	if c.TraceSlack <= 0 {
+		c.TraceSlack = time.Second
 	}
 	if c.MaxViolations <= 0 {
 		c.MaxViolations = 100
@@ -155,6 +182,11 @@ const (
 	ReportAfterTeardown = "report-after-teardown"
 	DirectoryStale      = "directory-stale"
 	ReportCadence       = "report-cadence"
+
+	// Passive-traces backend rules (see passive.go).
+	TraceMonotonic     = "trace-monotonic"
+	ReportWithoutTrace = "report-without-trace"
+	EstimateStale      = "estimate-stale"
 )
 
 // leaderRec is the checker's view of one mote's leadership of a label.
@@ -257,6 +289,10 @@ type Checker struct {
 
 	lastReport map[int]rearmRec // member -> label + last report (or join) time
 
+	// passive holds the passive-backend rule state; nil for leader runs
+	// (the backend selects the whole rule set, see Emit).
+	passive *passiveState
+
 	now        time.Duration
 	run        int64
 	events     uint64
@@ -266,7 +302,7 @@ type Checker struct {
 
 // New builds a checker for one run.
 func New(cfg Config) *Checker {
-	return &Checker{
+	c := &Checker{
 		cfg:        cfg.withDefaults(),
 		leaders:    make(map[string]map[int]*leaderRec),
 		multi:      make(map[string]bool),
@@ -284,9 +320,15 @@ func New(cfg Config) *Checker {
 		leaderGone: make(map[string]time.Duration),
 		lastReport: make(map[int]rearmRec),
 	}
+	if c.cfg.Backend == "passive" {
+		c.passive = newPassiveState()
+	}
+	return c
 }
 
-// Emit implements obs.Sink.
+// Emit implements obs.Sink. It only does the backend-independent
+// bookkeeping itself; every protocol assumption lives in the
+// backend-specific rule sets it dispatches to.
 func (c *Checker) Emit(ev obs.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -295,6 +337,15 @@ func (c *Checker) Emit(ev obs.Event) {
 	if ev.At > c.now {
 		c.now = ev.At
 	}
+	if c.passive != nil {
+		c.emitPassive(ev)
+		return
+	}
+	c.emitLeader(ev)
+}
+
+// emitLeader applies the heartbeat group-management rules I1–I5.
+func (c *Checker) emitLeader(ev obs.Event) {
 	pos := obsPos{x: ev.Pos.X, y: ev.Pos.Y}
 
 	switch ev.Type {
@@ -385,13 +436,18 @@ func (c *Checker) Emit(ev obs.Event) {
 	c.checkDualLeaders(ev.At)
 }
 
-// Finish runs the end-of-run sweep (a dual-leader overlap can outlast
-// the final event). at is the run's end time.
+// Finish runs the end-of-run sweep (a dual-leader overlap or a stale
+// active estimator can outlast the final event). at is the run's end
+// time.
 func (c *Checker) Finish(at time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if at > c.now {
 		c.now = at
+	}
+	if c.passive != nil {
+		c.sweepEstimateStale(c.now)
+		return
 	}
 	c.checkDualLeaders(c.now)
 }

@@ -17,7 +17,8 @@ type ContextDecl struct {
 	Pos          Pos
 	Name         string
 	Activation   Expr
-	Deactivation Expr // nil: default inverse of activation
+	Deactivation Expr   // nil: default inverse of activation
+	Backend      string // tracking backend name; empty: the default (leader)
 	Vars         []*VarDecl
 	Objects      []*ObjectDecl
 }
@@ -191,6 +192,9 @@ func (c *ContextDecl) format(b *strings.Builder) {
 	fmt.Fprintf(b, "    activation: %s\n", c.Activation)
 	if c.Deactivation != nil {
 		fmt.Fprintf(b, "    deactivation: %s\n", c.Deactivation)
+	}
+	if c.Backend != "" {
+		fmt.Fprintf(b, "    backend: %s\n", c.Backend)
 	}
 	for _, v := range c.Vars {
 		fmt.Fprintf(b, "    %s : %s(%s) confidence=%d, freshness=%s\n",

@@ -9,6 +9,7 @@ import (
 	"envirotrack/internal/group"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/sensor"
+	"envirotrack/internal/track"
 	"envirotrack/internal/transport"
 )
 
@@ -104,6 +105,14 @@ func CompileSource(src string, env Env) ([]core.ContextType, error) {
 
 func compileContext(decl *ContextDecl, env Env) (core.ContextType, error) {
 	spec := core.ContextType{Name: decl.Name, Group: env.Group}
+
+	if decl.Backend != "" {
+		if !track.Known(decl.Backend) {
+			return core.ContextType{}, cerrf(decl.Pos, "unknown tracking backend %q (known: %s)",
+				decl.Backend, strings.Join(track.Names(), ", "))
+		}
+		spec.Backend = decl.Backend
+	}
 
 	act, err := compileSense(decl.Activation, env)
 	if err != nil {

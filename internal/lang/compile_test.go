@@ -375,3 +375,39 @@ end context
 		t.Error("strict compile should fail")
 	}
 }
+
+func TestCompileBackendClause(t *testing.T) {
+	src := `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    backend: passive
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            send(pursuer, self:label, location);
+        }
+    end
+end context
+`
+	spec := compileOne(t, src, Env{
+		Destinations: map[string]radio.NodeID{"pursuer": 100},
+	})
+	if spec.Backend != "passive" {
+		t.Errorf("spec backend = %q, want passive", spec.Backend)
+	}
+}
+
+func TestCompileUnknownBackend(t *testing.T) {
+	src := `
+begin context tracker
+    activation: magnetic_sensor_reading()
+    backend: quantum
+    location : avg(position) confidence=2, freshness=1s
+end context
+`
+	_, err := CompileSource(src, Env{})
+	if err == nil || !strings.Contains(err.Error(), `unknown tracking backend "quantum"`) {
+		t.Errorf("err = %v, want unknown tracking backend", err)
+	}
+}

@@ -103,6 +103,14 @@ func (p *Parser) context() (*ContextDecl, error) {
 				return nil, err
 			}
 			ctx.Objects = append(ctx.Objects, obj)
+		case p.atBackendClause():
+			tok := p.next() // 'backend'
+			p.next()        // ':'
+			if ctx.Backend != "" {
+				return nil, errf(tok.Pos, "backend declared twice")
+			}
+			ctx.Backend = p.next().Text
+			p.accept(SEMI)
 		case p.at(IDENT):
 			v, err := p.varDecl()
 			if err != nil {
@@ -120,6 +128,23 @@ func (p *Parser) context() (*ContextDecl, error) {
 				p.cur().Kind, p.cur().Text)
 		}
 	}
+}
+
+// atBackendClause reports whether the next tokens form the optional
+// `backend: IDENT` clause. "backend" is a contextual keyword: a var
+// declaration continues `name : func(input)`, so the absence of '('
+// after the value identifier distinguishes the clause from a variable
+// that happens to be named backend.
+func (p *Parser) atBackendClause() bool {
+	if !p.at(IDENT) || p.cur().Text != "backend" {
+		return false
+	}
+	if p.pos+3 >= len(p.toks) {
+		return false
+	}
+	return p.toks[p.pos+1].Kind == COLON &&
+		p.toks[p.pos+2].Kind == IDENT &&
+		p.toks[p.pos+3].Kind != LPAREN
 }
 
 // varDecl: IDENT ':' IDENT '(' IDENT ')' attributes [';']

@@ -298,3 +298,73 @@ func TestParseDurationUnits(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBackendClause(t *testing.T) {
+	src := `
+begin context tracker
+    activation: sense()
+    backend: passive
+    location : avg(position) confidence=2, freshness=1s
+    begin object reporter
+        invocation: TIMER(5s)
+        report_function() {
+            send(pursuer, self:label, location);
+        }
+    end
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := prog.Contexts[0]
+	if ctx.Backend != "passive" {
+		t.Errorf("backend = %q, want passive", ctx.Backend)
+	}
+	if len(ctx.Vars) != 1 || ctx.Vars[0].Name != "location" {
+		t.Errorf("vars = %+v", ctx.Vars)
+	}
+	// Round trip: Format emits the clause, Parse reads it back.
+	p2, err := Parse(prog.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, prog.Format())
+	}
+	if p2.Contexts[0].Backend != "passive" {
+		t.Errorf("round-tripped backend = %q", p2.Contexts[0].Backend)
+	}
+}
+
+func TestParseBackendIsContextual(t *testing.T) {
+	// A variable named "backend" still parses as a var declaration: the
+	// '(' after the function name disambiguates.
+	src := `
+begin context tracker
+    activation: sense()
+    backend : avg(temperature) confidence=1, freshness=1s
+end context
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := prog.Contexts[0]
+	if ctx.Backend != "" {
+		t.Errorf("backend clause = %q, want none", ctx.Backend)
+	}
+	if len(ctx.Vars) != 1 || ctx.Vars[0].Name != "backend" {
+		t.Errorf("vars = %+v, want one var named backend", ctx.Vars)
+	}
+}
+
+func TestParseBackendDeclaredTwice(t *testing.T) {
+	src := `
+begin context tracker
+    activation: sense()
+    backend: passive
+    backend: leader
+end context
+`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "backend declared twice") {
+		t.Errorf("err = %v, want backend declared twice", err)
+	}
+}

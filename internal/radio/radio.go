@@ -204,6 +204,13 @@ type shardCtx struct {
 	// for shard j during the current parallel window; FlushBoundary drains
 	// it at the barrier. Nil outside parallel mode.
 	out [][]crossRec
+	// outDirty lists the destination shards whose outbox went non-empty
+	// this window (outMark dedups), so FlushBoundary visits only the
+	// (sender, receiver) pairs that actually buffered frames instead of
+	// scanning all k^2 outboxes. Drained ascending to preserve the full
+	// scan's deterministic order.
+	outDirty []int32
+	outMark  []bool
 
 	// violations counts this shard's conservative-lookahead violations in
 	// parallel mode (det mode accounts on the medium).
@@ -470,13 +477,14 @@ func (m *Medium) EnableParallel(rts []ShardRuntime) {
 	m.parCtxs = make([]*shardCtx, k)
 	for i := range rts {
 		m.parCtxs[i] = &shardCtx{
-			m:     m,
-			shard: int32(i),
-			sched: m.shardScheds[i],
-			rng:   rts[i].RNG,
-			stats: rts[i].Stats,
-			bus:   rts[i].Bus,
-			out:   make([][]crossRec, k),
+			m:       m,
+			shard:   int32(i),
+			sched:   m.shardScheds[i],
+			rng:     rts[i].RNG,
+			stats:   rts[i].Stats,
+			bus:     rts[i].Bus,
+			out:     make([][]crossRec, k),
+			outMark: make([]bool, k),
 		}
 	}
 }
@@ -1088,6 +1096,10 @@ func (m *Medium) trySend(f Frame, attempt int) {
 				// exact.
 				tx.delivered++
 			}
+			if !sc.outMark[dst.shard] {
+				sc.outMark[dst.shard] = true
+				sc.outDirty = append(sc.outDirty, dst.shard)
+			}
 			sc.out[dst.shard] = append(sc.out[dst.shard], crossRec{
 				dst: dst, f: f,
 				start: start + shardMutSkew, end: end + shardMutSkew,
@@ -1158,11 +1170,21 @@ func (m *Medium) trySend(f Frame, attempt int) {
 func (m *Medium) FlushBoundary(window time.Duration) uint64 {
 	var violations uint64
 	for _, sc := range m.parCtxs {
-		for to := range sc.out {
-			box := sc.out[to]
-			if len(box) == 0 {
-				continue
+		if len(sc.outDirty) == 0 {
+			continue
+		}
+		// Insertion-sort the dirty list ascending: it is short (bounded by
+		// the shard's neighbor count), and ascending destination order
+		// reproduces the full scan's drain order byte for byte.
+		dirty := sc.outDirty
+		for i := 1; i < len(dirty); i++ {
+			for j := i; j > 0 && dirty[j] < dirty[j-1]; j-- {
+				dirty[j], dirty[j-1] = dirty[j-1], dirty[j]
 			}
+		}
+		for _, to := range dirty {
+			box := sc.out[to]
+			sc.outMark[to] = false
 			dstCtx := m.parCtxs[to]
 			for i := range box {
 				r := &box[i]
@@ -1180,6 +1202,7 @@ func (m *Medium) FlushBoundary(window time.Duration) uint64 {
 			}
 			sc.out[to] = box[:0]
 		}
+		sc.outDirty = dirty[:0]
 	}
 	m.lookaheadViolations += violations
 	return violations

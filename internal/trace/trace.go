@@ -26,6 +26,9 @@ const (
 	KindDirectory  Kind = "directory"
 	KindTransport  Kind = "transport"
 	KindCross      Kind = "cross-traffic"
+	// KindTrace is the passive-traces backend's gossip frame: deposited
+	// trace records flooded one hop to the sensing neighborhood.
+	KindTrace Kind = "trace"
 )
 
 // LossCause distinguishes why a transmitted frame failed to arrive.

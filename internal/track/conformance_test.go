@@ -1,0 +1,301 @@
+package track_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+	"envirotrack/internal/group"
+	"envirotrack/internal/mote"
+	"envirotrack/internal/obs"
+	"envirotrack/internal/phenomena"
+	"envirotrack/internal/radio"
+	"envirotrack/internal/simtime"
+	"envirotrack/internal/trace"
+	"envirotrack/internal/track"
+
+	_ "envirotrack/internal/track/passive" // register the passive backend
+)
+
+// fastCfg compresses the protocol timing so conformance runs finish in
+// a few simulated seconds.
+var fastCfg = group.Config{
+	HeartbeatPeriod: 100 * time.Millisecond,
+	CreationBackoff: 10 * time.Millisecond,
+}
+
+// cbEvent is one recorded Callbacks invocation.
+type cbEvent struct {
+	kind  string // "activate" | "deactivate" | "deleted"
+	mote  radio.NodeID
+	label group.Label
+	state []byte
+	at    time.Duration
+}
+
+// backendEvents are the obs event types a tracking backend itself emits
+// (as opposed to the mote/radio layers below it); the no-events-after-Stop
+// check filters on this set.
+var backendEvents = map[obs.EventType]bool{
+	obs.EvHeartbeatSent:       true,
+	obs.EvHeartbeatForwarded:  true,
+	obs.EvHeartbeatSuppressed: true,
+	obs.EvReceiveTimerFired:   true,
+	obs.EvWaitTimerArmed:      true,
+	obs.EvLabelCreated:        true,
+	obs.EvLabelJoined:         true,
+	obs.EvLabelTakeover:       true,
+	obs.EvLabelRelinquish:     true,
+	obs.EvLabelYield:          true,
+	obs.EvLabelDeleted:        true,
+	obs.EvLeaderStepDown:      true,
+	obs.EvReportSent:          true,
+	obs.EvRouteDelivered:      true,
+	obs.EvRouteDropped:        true,
+}
+
+// conformNet wires motes with tracking backends on a loss-free medium and
+// records every callback and backend-emitted obs event.
+type conformNet struct {
+	t        *testing.T
+	sched    *simtime.Scheduler
+	medium   *radio.Medium
+	backends map[radio.NodeID]track.Backend
+	log      []cbEvent
+	obsLog   []obs.Event
+}
+
+func newConformNet(t *testing.T) *conformNet {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	var stats trace.Stats
+	rng := rand.New(rand.NewSource(11))
+	n := &conformNet{
+		t:        t,
+		sched:    sched,
+		medium:   radio.New(sched, radio.Params{CommRadius: 2}, rng, &stats),
+		backends: make(map[radio.NodeID]track.Backend),
+	}
+	return n
+}
+
+// obsRecorder funnels backend-emitted events into the net's log.
+type obsRecorder struct{ n *conformNet }
+
+func (r obsRecorder) Emit(ev obs.Event) {
+	if backendEvents[ev.Type] {
+		r.n.obsLog = append(r.n.obsLog, ev)
+	}
+}
+
+func (n *conformNet) add(backend string, id radio.NodeID, pos geom.Point) track.Backend {
+	n.t.Helper()
+	var stats trace.Stats
+	rng := rand.New(rand.NewSource(100 + int64(id)))
+	m, err := mote.New(id, pos, n.sched, n.medium, phenomena.NewField(), nil, mote.Config{}, rng, &stats)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	m.SetObserver(obs.NewBus(obsRecorder{n}))
+	record := func(kind string) func(group.Label) {
+		return func(l group.Label) {
+			n.log = append(n.log, cbEvent{kind: kind, mote: id, label: l, at: n.sched.Now()})
+		}
+	}
+	be, err := track.New(backend, track.Deps{
+		Mote:    m,
+		CtxType: "tracker",
+		Group:   fastCfg,
+		Callbacks: track.Callbacks{
+			OnActivate: func(l group.Label, state []byte) {
+				n.log = append(n.log, cbEvent{kind: "activate", mote: id, label: l, state: state, at: n.sched.Now()})
+			},
+			OnDeactivate:   record("deactivate"),
+			OnLabelDeleted: record("deleted"),
+		},
+		Ledger: &trace.Ledger{},
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	n.backends[id] = be
+	return be
+}
+
+func (n *conformNet) senseAt(id radio.NodeID, at time.Duration, sensing bool) {
+	n.sched.At(at, func() { n.backends[id].SetSensing(sensing) })
+}
+
+func (n *conformNet) runUntil(d time.Duration) {
+	n.t.Helper()
+	if err := n.sched.RunUntil(d); err != nil {
+		n.t.Fatal(err)
+	}
+}
+
+// forEachBackend runs the conformance check against every registered
+// backend, so a new registration is covered automatically.
+func forEachBackend(t *testing.T, f func(t *testing.T, backend string)) {
+	names := track.Names()
+	if len(names) < 2 {
+		t.Fatalf("registry holds %v, want at least leader and passive", names)
+	}
+	for _, be := range names {
+		t.Run(be, func(t *testing.T) { f(t, be) })
+	}
+}
+
+// TestConformanceSingleMoteActivates: a lone sensing mote must create a
+// label and activate under any backend.
+func TestConformanceSingleMoteActivates(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		n := newConformNet(t)
+		be := n.add(backend, 1, geom.Pt(0, 0))
+		n.senseAt(1, 0, true)
+		n.runUntil(time.Second)
+
+		if !be.Participating() || be.Label() == "" {
+			t.Fatalf("participating=%t label=%q, want active participation", be.Participating(), be.Label())
+		}
+		if !be.Sensing() {
+			t.Error("Sensing() = false after SetSensing(true)")
+		}
+		var activations int
+		for _, ev := range n.log {
+			if ev.kind == "activate" && ev.mote == 1 {
+				activations++
+			}
+		}
+		if activations != 1 {
+			t.Errorf("activations = %d, want exactly 1", activations)
+		}
+	})
+}
+
+// TestConformanceActivatePairing drives a two-mote handover (the first
+// sensor goes quiet, the second keeps sensing) and checks the callback
+// contract: per mote, activate and deactivate strictly alternate,
+// starting with activate; labels match within each pair.
+func TestConformanceActivatePairing(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		n := newConformNet(t)
+		n.add(backend, 1, geom.Pt(0, 0))
+		n.add(backend, 2, geom.Pt(1, 0))
+		n.senseAt(1, 0, true)
+		n.senseAt(2, 300*time.Millisecond, true)
+		n.senseAt(1, 2*time.Second, false)
+		n.runUntil(5 * time.Second)
+
+		active := map[radio.NodeID]group.Label{}
+		for _, ev := range n.log {
+			switch ev.kind {
+			case "activate":
+				if l, on := active[ev.mote]; on {
+					t.Fatalf("mote %d activated for %q while already active for %q at %v", ev.mote, ev.label, l, ev.at)
+				}
+				active[ev.mote] = ev.label
+			case "deactivate":
+				l, on := active[ev.mote]
+				if !on {
+					t.Fatalf("mote %d deactivated for %q while not active at %v", ev.mote, ev.label, ev.at)
+				}
+				if l != ev.label {
+					t.Fatalf("mote %d deactivated for %q but was activated for %q", ev.mote, ev.label, l)
+				}
+				delete(active, ev.mote)
+			}
+		}
+		if len(active) != 1 {
+			t.Errorf("motes left active = %d, want exactly 1 (mote 2 carries the label)", len(active))
+		}
+		if _, on := active[2]; !on {
+			t.Errorf("mote 2 is not the active mote at the end: %v", active)
+		}
+	})
+}
+
+// TestConformanceStateHandoff: state set by the active mote must reach
+// the successor's OnActivate when the role moves.
+func TestConformanceStateHandoff(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		n := newConformNet(t)
+		n.add(backend, 1, geom.Pt(0, 0))
+		n.add(backend, 2, geom.Pt(1, 0))
+		n.senseAt(1, 0, true)
+		n.senseAt(2, 300*time.Millisecond, true)
+		// Let mote 1 activate and publish state, then lose sensing.
+		n.sched.At(time.Second, func() {
+			if !n.backends[1].Participating() {
+				t.Fatal("mote 1 not participating at state-set time")
+			}
+			n.backends[1].SetState([]byte("carried"))
+		})
+		n.senseAt(1, 2*time.Second, false)
+		n.runUntil(5 * time.Second)
+
+		var handoff *cbEvent
+		for i := range n.log {
+			ev := &n.log[i]
+			if ev.kind == "activate" && ev.mote == 2 {
+				handoff = ev
+			}
+		}
+		if handoff == nil {
+			t.Fatal("mote 2 never activated after mote 1 went quiet")
+		}
+		if string(handoff.state) != "carried" {
+			t.Errorf("successor activated with state %q, want %q", handoff.state, "carried")
+		}
+	})
+}
+
+// TestConformanceNoEventsAfterStop: after Stop returns, a backend must
+// invoke no callbacks and emit no protocol events, even while frames are
+// still in flight and sensing continues.
+func TestConformanceNoEventsAfterStop(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		n := newConformNet(t)
+		n.add(backend, 1, geom.Pt(0, 0))
+		n.add(backend, 2, geom.Pt(1, 0))
+		n.senseAt(1, 0, true)
+		n.senseAt(2, 0, true)
+		const stopAt = 2 * time.Second
+		n.sched.At(stopAt, func() {
+			for _, be := range n.backends {
+				be.Stop()
+			}
+		})
+		n.runUntil(5 * time.Second)
+
+		for _, ev := range n.log {
+			if ev.at > stopAt {
+				t.Errorf("callback %s on mote %d at %v, after Stop at %v", ev.kind, ev.mote, ev.at, stopAt)
+			}
+		}
+		sawBefore := false
+		for _, ev := range n.obsLog {
+			if ev.At <= stopAt {
+				sawBefore = true
+			} else {
+				t.Errorf("backend event %v on mote %d at %v, after Stop at %v", ev.Type, ev.Mote, ev.At, stopAt)
+			}
+		}
+		if !sawBefore {
+			t.Error("backend emitted no events before Stop; harness is not observing anything")
+		}
+	})
+}
+
+// TestRegistryRejectsUnknownAndDuplicate pins the registry error paths.
+func TestRegistryRejectsUnknownAndDuplicate(t *testing.T) {
+	if _, err := track.New("no-such-backend", track.Deps{}); err == nil {
+		t.Error("constructing an unknown backend succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	track.Register(track.BackendLeader, func(track.Deps) track.Backend { return nil })
+}

@@ -1,0 +1,35 @@
+package track
+
+import "envirotrack/internal/group"
+
+// leaderBackend adapts the EnviroTrack group-management protocol to the
+// Backend interface. It is pure indirection over group.Manager — no extra
+// state, no extra RNG draws, no reordered timers — so runs under the
+// leader backend stay byte-identical to the pre-interface stack.
+type leaderBackend struct {
+	mgr *group.Manager
+}
+
+func newLeader(d Deps) Backend {
+	return &leaderBackend{
+		mgr: group.NewManager(d.Mote, d.CtxType, d.Group, group.Callbacks{
+			ReportPayload:    d.Callbacks.ReportPayload,
+			OnReport:         d.Callbacks.OnReport,
+			OnBecomeLeader:   d.Callbacks.OnActivate,
+			OnLoseLeadership: d.Callbacks.OnDeactivate,
+			OnLabelDeleted:   d.Callbacks.OnLabelDeleted,
+		}, d.Ledger),
+	}
+}
+
+// Manager exposes the wrapped group manager (tests and experiments reach
+// it through the optional interface upgrade).
+func (b *leaderBackend) Manager() *group.Manager { return b.mgr }
+
+func (b *leaderBackend) SetSensing(sensing bool) { b.mgr.SetSensing(sensing) }
+func (b *leaderBackend) Sensing() bool           { return b.mgr.Sensing() }
+func (b *leaderBackend) Label() group.Label      { return b.mgr.Label() }
+func (b *leaderBackend) Participating() bool     { return b.mgr.Role() != group.RoleNone }
+func (b *leaderBackend) SetState(state []byte)   { b.mgr.SetState(state) }
+func (b *leaderBackend) State() []byte           { return b.mgr.State() }
+func (b *leaderBackend) Stop()                   { b.mgr.Stop() }

@@ -1,0 +1,179 @@
+package passive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"envirotrack/internal/geom"
+)
+
+// refEstimator is the brute-force reference: it keeps the raw live point
+// set (same window and capacity semantics as Estimator) and refits the
+// least-squares line from scratch on every query. The property test
+// checks the incremental sums against it, bounding their accumulated
+// floating-point drift.
+type refEstimator struct {
+	window time.Duration
+	pts    []Point
+}
+
+func (r *refEstimator) add(p Point) {
+	if len(r.pts) >= maxPoints {
+		oldest := 0
+		for i, q := range r.pts {
+			if q.At < r.pts[oldest].At {
+				oldest = i
+			}
+		}
+		r.pts = append(r.pts[:oldest], r.pts[oldest+1:]...)
+	}
+	r.pts = append(r.pts, p)
+}
+
+func (r *refEstimator) evict(now time.Duration) {
+	horizon := now - r.window
+	keep := r.pts[:0]
+	for _, p := range r.pts {
+		if p.At >= horizon {
+			keep = append(keep, p)
+		}
+	}
+	r.pts = keep
+}
+
+func (r *refEstimator) estimate(now time.Duration) (geom.Point, bool) {
+	if len(r.pts) == 0 {
+		return geom.Point{}, false
+	}
+	// Fit in times relative to the oldest live point: the least-squares
+	// line is shift-invariant, so this computes the same estimate as
+	// absolute timestamps in exact arithmetic while staying conditioned
+	// at large simulation times (matching the estimator's epoch scheme —
+	// fitting in raw absolute seconds loses the comparison's precision to
+	// the reference's own cancellation, not the estimator's drift).
+	n := float64(len(r.pts))
+	oldest, newest := r.pts[0].At, r.pts[0].At
+	for _, p := range r.pts {
+		if p.At < oldest {
+			oldest = p.At
+		}
+		if p.At > newest {
+			newest = p.At
+		}
+	}
+	var st, st2, sx, sy, stx, sty float64
+	for _, p := range r.pts {
+		t := (p.At - oldest).Seconds()
+		st += t
+		st2 += t * t
+		sx += p.Pos.X
+		sy += p.Pos.Y
+		stx += t * p.Pos.X
+		sty += t * p.Pos.Y
+	}
+	cx, cy := sx/n, sy/n
+	denom := n*st2 - st*st
+	if denom < 1e-9 {
+		return geom.Point{X: cx, Y: cy}, true
+	}
+	bx := (n*stx - st*sx) / denom
+	by := (n*sty - st*sy) / denom
+	t := now
+	if t > newest+r.window/2 {
+		t = newest + r.window/2
+	}
+	dt := (t - oldest).Seconds() - st/n
+	return geom.Point{X: cx + bx*dt, Y: cy + by*dt}, true
+}
+
+// TestEstimatorMatchesReference is the property test: over long random
+// schedules of adds, evictions, and queries, the incremental estimator
+// must agree with the from-scratch reference refit within a tight
+// floating-point tolerance, and their live point counts must match
+// exactly.
+func TestEstimatorMatchesReference(t *testing.T) {
+	const (
+		window = 2100 * time.Millisecond
+		trials = 20
+		steps  = 400
+		tol    = 1e-6
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		est := NewEstimator(window)
+		ref := &refEstimator{window: window}
+		now := time.Duration(0)
+		for step := 0; step < steps; step++ {
+			// Time advances in jittered sub-window increments, so points
+			// continually age across the eviction horizon.
+			now += time.Duration(rng.Int63n(int64(window / 4)))
+			switch rng.Intn(4) {
+			case 0, 1: // add a point near the current time (possibly in the recent past)
+				at := now - time.Duration(rng.Int63n(int64(window/2)))
+				p := Point{At: at, Pos: geom.Pt(rng.Float64()*10, rng.Float64()*10)}
+				est.Add(p)
+				ref.add(p)
+			case 2: // evict
+				est.Evict(now)
+				ref.evict(now)
+			case 3: // burst of simultaneous points (degenerate time spread)
+				at := now
+				for k := 0; k < 3; k++ {
+					p := Point{At: at, Pos: geom.Pt(rng.Float64()*10, rng.Float64()*10)}
+					est.Add(p)
+					ref.add(p)
+				}
+			}
+			if est.Len() != len(ref.pts) {
+				t.Fatalf("trial %d step %d: live points = %d, reference = %d", trial, step, est.Len(), len(ref.pts))
+			}
+			got, gotOK := est.Estimate(now)
+			want, wantOK := ref.estimate(now)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d step %d: estimate ok = %t, reference = %t", trial, step, gotOK, wantOK)
+			}
+			if !gotOK {
+				continue
+			}
+			if math.Abs(got.X-want.X) > tol || math.Abs(got.Y-want.Y) > tol {
+				t.Fatalf("trial %d step %d: estimate %v diverges from reference %v (n=%d)",
+					trial, step, got, want, est.Len())
+			}
+		}
+	}
+}
+
+// TestEstimatorCapacityBound floods the estimator past maxPoints and
+// checks the cap holds by evicting the oldest point first.
+func TestEstimatorCapacityBound(t *testing.T) {
+	est := NewEstimator(time.Hour)
+	for i := 0; i < maxPoints+50; i++ {
+		est.Add(Point{At: time.Duration(i) * time.Millisecond, Pos: geom.Pt(float64(i), 0)})
+	}
+	if est.Len() != maxPoints {
+		t.Fatalf("live points = %d, want cap %d", est.Len(), maxPoints)
+	}
+	if newest, ok := est.Newest(); !ok || newest != time.Duration(maxPoints+49)*time.Millisecond {
+		t.Errorf("newest = %v, %t; want the last added point", newest, ok)
+	}
+}
+
+// TestEstimatorEmptyAndDegenerate pins the edge cases: no points means
+// no estimate; a single instant's points mean the centroid.
+func TestEstimatorEmptyAndDegenerate(t *testing.T) {
+	est := NewEstimator(time.Second)
+	if _, ok := est.Estimate(0); ok {
+		t.Error("empty estimator produced an estimate")
+	}
+	est.Add(Point{At: time.Second, Pos: geom.Pt(2, 0)})
+	est.Add(Point{At: time.Second, Pos: geom.Pt(4, 2)})
+	got, ok := est.Estimate(time.Second)
+	if !ok {
+		t.Fatal("no estimate from two live points")
+	}
+	if math.Abs(got.X-3) > 1e-12 || math.Abs(got.Y-1) > 1e-12 {
+		t.Errorf("degenerate-spread estimate = %v, want centroid (3,1)", got)
+	}
+}

@@ -4,18 +4,19 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"envirotrack/internal/chaos"
 	"envirotrack/internal/core"
 	"envirotrack/internal/geom"
-	"envirotrack/internal/group"
 	"envirotrack/internal/mote"
 	"envirotrack/internal/obs"
 	"envirotrack/internal/phenomena"
 	"envirotrack/internal/radio"
 	"envirotrack/internal/simtime"
 	"envirotrack/internal/trace"
+	"envirotrack/internal/track"
 )
 
 // ModelFunc assigns a sensing model to each deployed mote; returning nil
@@ -42,6 +43,7 @@ type networkConfig struct {
 	selfProfile *simtime.Profile
 	shards      int
 	parallel    bool
+	backend     string
 }
 
 // Option configures New.
@@ -141,6 +143,14 @@ func WithBounds(r Rect) Option {
 // WithDirectory enables the object naming and directory services.
 func WithDirectory() Option {
 	return optionFunc(func(c *networkConfig) { c.directory = true })
+}
+
+// WithBackend selects the default tracking backend for context types
+// attached without an explicit one (a ContextType.Backend set by the
+// language's backend clause or by hand still wins). Known backends:
+// BackendLeader (the default) and BackendPassive.
+func WithBackend(name string) Option {
+	return optionFunc(func(c *networkConfig) { c.backend = name })
 }
 
 // WithEventBus attaches an observability event bus: every protocol layer
@@ -261,6 +271,10 @@ func New(opts ...Option) (*Network, error) {
 	}
 	if cfg.commRadius <= 0 {
 		return nil, fmt.Errorf("envirotrack: communication radius must be positive")
+	}
+	if cfg.backend != "" && !track.Known(cfg.backend) {
+		return nil, fmt.Errorf("envirotrack: unknown tracking backend %q (known: %s)",
+			cfg.backend, strings.Join(track.Names(), ", "))
 	}
 	if !cfg.boundsSet {
 		cfg.bounds = geom.Grid{Cols: cfg.cols, Rows: cfg.rows}.Bounds()
@@ -441,8 +455,13 @@ func (n *Network) Nodes() []NodeID {
 	return n.medium.NodeIDs()
 }
 
-// AttachContextAll attaches a context type to every sensing mote.
+// AttachContextAll attaches a context type to every sensing mote. A
+// spec without an explicit Backend gets the network's default (see
+// WithBackend).
 func (n *Network) AttachContextAll(spec ContextType) error {
+	if spec.Backend == "" {
+		spec.Backend = n.cfg.backend
+	}
 	for _, id := range n.medium.NodeIDs() {
 		node := n.nodes[id]
 		if node.mote == nil {
@@ -514,7 +533,7 @@ func (n *Network) StartSeries(every time.Duration, extra ...SeriesProbe) *Series
 			for _, id := range n.medium.NodeIDs() {
 				node := n.nodes[id]
 				for _, ct := range n.ctxTypes {
-					if rt, ok := node.stack.Runtime(ct); ok && rt.Manager().Role() != group.RoleNone {
+					if rt, ok := node.stack.Runtime(ct); ok && rt.Participating() {
 						total++
 						break
 					}
@@ -982,7 +1001,7 @@ func (nd *Node) CurrentLabel(ctxType string) Label {
 	if !ok {
 		return ""
 	}
-	return rt.Manager().Label()
+	return rt.Label()
 }
 
 // Fail kills the mote (fault injection); Restore revives it.
